@@ -1,0 +1,49 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 7) at a reduced scale: the client database is a scaled-down
+TPC-DS-like / JOB-like instance, and cardinalities are scaled up through the
+CODD metadata path where the experiment calls for nominal 100 GB numbers.
+The printed output of each benchmark is the reproduced table/series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchdata.datagen import generate_database
+from repro.benchdata.job import job_schema, job_workload
+from repro.benchdata.tpcds import complex_workload, simple_workload, tpcds_schema
+from repro.hydra.client import extract_constraints
+
+#: Scale used for the client instances backing the experiments: fact tables
+#: at 1/1000 of the 100 GB configuration, dimensions at 1/50.
+FACT_SCALE = 0.001
+DIMENSION_SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def tpcds_env():
+    """Schema, client database and both workloads' constraint sets."""
+    schema = tpcds_schema(scale_factor=FACT_SCALE, dimension_scale=DIMENSION_SCALE)
+    database = generate_database(schema, seed=1)
+    wlc = complex_workload(schema, num_queries=131)
+    wls = simple_workload(schema, num_queries=110)
+    package_c = extract_constraints(database, wlc, name="WLc")
+    package_s = extract_constraints(database, wls, name="WLs")
+    return {
+        "schema": schema,
+        "database": database,
+        "wlc": package_c.constraints,
+        "wls": package_s.constraints,
+    }
+
+
+@pytest.fixture(scope="session")
+def job_env():
+    """Schema, client database and constraints for the JOB environment."""
+    schema = job_schema(scale_factor=0.002)
+    database = generate_database(schema, seed=11)
+    workload = job_workload(schema, num_queries=260)
+    package = extract_constraints(database, workload, name="JOB")
+    return {"schema": schema, "database": database, "ccs": package.constraints}

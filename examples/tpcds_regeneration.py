@@ -1,0 +1,81 @@
+"""Regenerate a TPC-DS-like warehouse from a 131-query workload (Section 7).
+
+The script builds a scaled-down TPC-DS-like client instance, derives the
+complex workload WLc, runs both Hydra and (on the simplified workload WLs)
+the DataSynth baseline, and prints the headline comparisons of the paper's
+evaluation: LP sizes, summary construction time and volumetric similarity.
+
+Run with:  python examples/tpcds_regeneration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    DataSynth,
+    Hydra,
+    compare_lp_sizes,
+    complex_workload,
+    evaluate_on_database,
+    evaluate_on_summary,
+    extract_constraints,
+    generate_database,
+    simple_workload,
+    tpcds_schema,
+)
+from repro.errors import LPTooLargeError
+
+
+def main() -> None:
+    schema = tpcds_schema(scale_factor=0.001, dimension_scale=0.02)
+    print("Generating the client database instance ...")
+    client_db = generate_database(schema, seed=1)
+    print(f"  {client_db.total_rows():,} rows across {len(schema)} relations")
+
+    # ------------------------------------------------------------------ #
+    # complex workload: Hydra succeeds, DataSynth's grid LP explodes
+    # ------------------------------------------------------------------ #
+    wlc = complex_workload(schema, num_queries=131)
+    package_c = extract_constraints(client_db, wlc)
+    print(f"\nWLc: {len(wlc)} queries -> {len(package_c.constraints)} cardinality constraints")
+
+    started = time.perf_counter()
+    hydra_result = Hydra(schema).build_summary(package_c.constraints)
+    print(f"Hydra summary built in {time.perf_counter() - started:.1f}s "
+          f"({hydra_result.summary.nbytes():,} bytes)")
+
+    comparison = compare_lp_sizes(schema, package_c.constraints)
+    print("\nLP variables per relation (region vs grid partitioning):")
+    for relation, region, grid, reduction in comparison.rows():
+        print(f"  {relation:20s} region {region:>8,d}   grid {grid:>16,.0f}   x{reduction:,.0f}")
+
+    report = evaluate_on_summary(package_c.constraints, hydra_result.summary, schema)
+    print(f"\nHydra volumetric similarity on WLc: "
+          f"{report.fraction_within(0.1):.1%} of CCs within 10% relative error")
+
+    # ------------------------------------------------------------------ #
+    # simplified workload: both systems run, compare accuracy
+    # ------------------------------------------------------------------ #
+    wls = simple_workload(schema, num_queries=110)
+    package_s = extract_constraints(client_db, wls)
+    print(f"\nWLs: {len(wls)} queries -> {len(package_s.constraints)} cardinality constraints")
+
+    hydra_s = Hydra(schema).build_summary(package_s.constraints)
+    hydra_report = evaluate_on_summary(package_s.constraints, hydra_s.summary, schema)
+    print(f"Hydra     : {hydra_report.fraction_within(0.1):.1%} of CCs within 10%")
+
+    try:
+        datasynth = DataSynth(schema).generate(package_s.constraints)
+        ds_report = evaluate_on_database(package_s.constraints, datasynth.database)
+        print(f"DataSynth : {ds_report.fraction_within(0.1):.1%} of CCs within 10% "
+              f"(max error {ds_report.max_error():.1%})")
+        print(f"Extra tuples for referential integrity — Hydra: "
+              f"{sum(hydra_s.summary.extra_tuples.values())}, "
+              f"DataSynth: {sum(datasynth.extra_tuples.values())}")
+    except LPTooLargeError as exc:
+        print(f"DataSynth could not run: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Hydra — scalable and dynamic regeneration of big data volumes.
+
+A from-scratch Python reproduction of *Sanghi, Sood, Haritsa, Tirthapura:
+"Scalable and Dynamic Regeneration of Big Data Volumes", EDBT 2018*, including
+the DataSynth baseline, an in-memory relational engine producing annotated
+query plans, TPC-DS-like / JOB-like benchmark environments, and the full
+experiment harness.
+
+Typical use::
+
+    from repro import (
+        tpcds_schema, complex_workload, generate_database,
+        extract_constraints, Hydra, materialize_database,
+    )
+
+    schema = tpcds_schema(scale_factor=0.0005)
+    client_db = generate_database(schema, seed=1)
+    workload = complex_workload(schema)
+    package = extract_constraints(client_db, workload)
+
+    result = Hydra(schema).build_summary(package.constraints)
+    synthetic_db = materialize_database(result.summary, schema)
+"""
+
+from repro.benchdata import (
+    complex_workload,
+    generate_database,
+    job_schema,
+    job_workload,
+    simple_workload,
+    tpcds_schema,
+)
+from repro.constraints import CardinalityConstraint, ConstraintSet
+from repro.datasynth import DataSynth, DataSynthConfig, DataSynthResult
+from repro.engine import Database, Executor, Table
+from repro.errors import ReproError
+from repro.hydra import Hydra, HydraConfig, HydraResult, extract_constraints
+from repro.metrics import (
+    SimilarityReport,
+    compare_extra_tuples,
+    compare_lp_sizes,
+    evaluate_on_database,
+    evaluate_on_summary,
+)
+from repro.predicates import Conjunct, DNFPredicate, Interval, IntervalSet, col
+from repro.schema import Attribute, ForeignKey, Relation, Schema
+from repro.summary import DatabaseSummary, RelationSummary
+from repro.tuplegen import TupleGenerator, dynamic_database, materialize_database
+from repro.workload import Query, Workload, WorkloadGenerator, WorkloadProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # schema
+    "Schema",
+    "Relation",
+    "Attribute",
+    "ForeignKey",
+    # predicates
+    "Interval",
+    "IntervalSet",
+    "Conjunct",
+    "DNFPredicate",
+    "col",
+    # constraints
+    "CardinalityConstraint",
+    "ConstraintSet",
+    # engine
+    "Table",
+    "Database",
+    "Executor",
+    # workload
+    "Query",
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    # benchmark environments
+    "tpcds_schema",
+    "complex_workload",
+    "simple_workload",
+    "job_schema",
+    "job_workload",
+    "generate_database",
+    # pipelines
+    "Hydra",
+    "HydraConfig",
+    "HydraResult",
+    "extract_constraints",
+    "DataSynth",
+    "DataSynthConfig",
+    "DataSynthResult",
+    # summaries and generation
+    "DatabaseSummary",
+    "RelationSummary",
+    "TupleGenerator",
+    "materialize_database",
+    "dynamic_database",
+    # metrics
+    "SimilarityReport",
+    "evaluate_on_database",
+    "evaluate_on_summary",
+    "compare_lp_sizes",
+    "compare_extra_tuples",
+]

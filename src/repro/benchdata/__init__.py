@@ -1,0 +1,26 @@
+"""Benchmark environments: TPC-DS-like and JOB-like schemas, data generators
+and workload factories."""
+
+from repro.benchdata import job, tpcds
+from repro.benchdata.datagen import generate_database
+from repro.benchdata.job import job_schema, job_workload
+from repro.benchdata.tpcds import (
+    FACT_RELATIONS,
+    LARGEST_RELATIONS,
+    complex_workload,
+    simple_workload,
+    tpcds_schema,
+)
+
+__all__ = [
+    "generate_database",
+    "tpcds",
+    "job",
+    "tpcds_schema",
+    "complex_workload",
+    "simple_workload",
+    "FACT_RELATIONS",
+    "LARGEST_RELATIONS",
+    "job_schema",
+    "job_workload",
+]

@@ -1,0 +1,169 @@
+"""A JOB-like (IMDB) schema and workload (Section 7.6).
+
+The Join Order Benchmark runs over the IMDB dataset, whose schema is
+structurally very different from TPC-DS: several association ("fact-like")
+relations hang off the ``title`` relation, dimensions are tiny type tables,
+and the dependency graph is a DAG rather than a star.  The paper uses a
+260-query workload over it to show Hydra's behaviour is not a TPC-DS
+artefact; this module provides an equivalent synthetic environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.predicates.interval import Interval
+from repro.schema.relation import Attribute, ForeignKey, Relation
+from repro.schema.schema import Schema
+from repro.workload.generator import WorkloadGenerator, WorkloadProfile
+from repro.workload.query import Workload
+
+#: Nominal row counts of the IMDB snapshot used by JOB.
+NOMINAL_ROW_COUNTS: Dict[str, int] = {
+    "kind_type": 7,
+    "company_type": 4,
+    "company_name": 234_997,
+    "keyword": 134_170,
+    "name": 4_167_491,
+    "role_type": 12,
+    "info_type": 113,
+    "title": 2_528_312,
+    "aka_name": 901_343,
+    "movie_companies": 2_609_129,
+    "movie_info": 14_835_720,
+    "movie_info_idx": 1_380_035,
+    "movie_keyword": 4_523_930,
+    "cast_info": 36_244_344,
+}
+
+#: The association relations used as query roots.
+ROOT_RELATIONS = (
+    "movie_companies",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+    "cast_info",
+)
+
+
+def _attr(name: str, lo: int, hi: int) -> Attribute:
+    return Attribute(name=name, domain=Interval(lo, hi))
+
+
+def job_schema(scale_factor: float = 1.0) -> Schema:
+    """Build the JOB-like schema, optionally scaling all row counts."""
+
+    def rows(name: str) -> int:
+        return max(4, int(round(NOMINAL_ROW_COUNTS[name] * scale_factor)))
+
+    relations = [
+        Relation(
+            name="kind_type", primary_key="kt_id", row_count=rows("kind_type"),
+            attributes=[_attr("kt_kind", 1, 8)],
+        ),
+        Relation(
+            name="company_type", primary_key="ct_id", row_count=rows("company_type"),
+            attributes=[_attr("ct_kind", 1, 5)],
+        ),
+        Relation(
+            name="company_name", primary_key="cn_id", row_count=rows("company_name"),
+            attributes=[
+                _attr("cn_country_code", 1, 227),
+                _attr("cn_name_group", 1, 1_000),
+            ],
+        ),
+        Relation(
+            name="keyword", primary_key="k_id", row_count=rows("keyword"),
+            attributes=[_attr("k_keyword_group", 1, 1_000)],
+        ),
+        Relation(
+            name="name", primary_key="n_id", row_count=rows("name"),
+            attributes=[
+                _attr("n_gender", 0, 3),
+                _attr("n_name_group", 1, 1_000),
+            ],
+        ),
+        Relation(
+            name="role_type", primary_key="rt_id", row_count=rows("role_type"),
+            attributes=[_attr("rt_role", 1, 13)],
+        ),
+        Relation(
+            name="info_type", primary_key="it_id", row_count=rows("info_type"),
+            attributes=[_attr("it_info", 1, 114)],
+        ),
+        Relation(
+            name="title", primary_key="t_id", row_count=rows("title"),
+            foreign_keys=[ForeignKey(column="t_kind_id", target="kind_type")],
+            attributes=[
+                _attr("t_production_year", 1880, 2021),
+                _attr("t_phonetic_group", 1, 1_000),
+                _attr("t_season_nr", 0, 100),
+            ],
+        ),
+        Relation(
+            name="aka_name", primary_key="an_id", row_count=rows("aka_name"),
+            foreign_keys=[ForeignKey(column="an_person_id", target="name")],
+            attributes=[_attr("an_name_group", 1, 1_000)],
+        ),
+        Relation(
+            name="movie_companies", primary_key="mc_id", row_count=rows("movie_companies"),
+            foreign_keys=[
+                ForeignKey(column="mc_movie_id", target="title"),
+                ForeignKey(column="mc_company_id", target="company_name"),
+                ForeignKey(column="mc_company_type_id", target="company_type"),
+            ],
+            attributes=[_attr("mc_note_group", 0, 4)],
+        ),
+        Relation(
+            name="movie_info", primary_key="mi_id", row_count=rows("movie_info"),
+            foreign_keys=[
+                ForeignKey(column="mi_movie_id", target="title"),
+                ForeignKey(column="mi_info_type_id", target="info_type"),
+            ],
+            attributes=[_attr("mi_info_group", 1, 1_000)],
+        ),
+        Relation(
+            name="movie_info_idx", primary_key="mi_idx_id", row_count=rows("movie_info_idx"),
+            foreign_keys=[
+                ForeignKey(column="mii_movie_id", target="title"),
+                ForeignKey(column="mii_info_type_id", target="info_type"),
+            ],
+            attributes=[_attr("mii_rating", 0, 101)],
+        ),
+        Relation(
+            name="movie_keyword", primary_key="mk_id", row_count=rows("movie_keyword"),
+            foreign_keys=[
+                ForeignKey(column="mk_movie_id", target="title"),
+                ForeignKey(column="mk_keyword_id", target="keyword"),
+            ],
+            attributes=[],
+        ),
+        Relation(
+            name="cast_info", primary_key="ci_id", row_count=rows("cast_info"),
+            foreign_keys=[
+                ForeignKey(column="ci_movie_id", target="title"),
+                ForeignKey(column="ci_person_id", target="name"),
+                ForeignKey(column="ci_role_id", target="role_type"),
+            ],
+            attributes=[_attr("ci_nr_order", 0, 1_000)],
+        ),
+    ]
+    return Schema(relations, name="job")
+
+
+def job_workload(schema: Schema, num_queries: int = 260, seed: int = 17) -> Workload:
+    """The JOB-style workload: 260 star queries over the association
+    relations, filtering production years, country codes, kinds, genders and
+    info types, as in the paper's Section 7.6."""
+    profile = WorkloadProfile(
+        num_queries=num_queries,
+        root_relations=ROOT_RELATIONS,
+        max_joined_dimensions=3,
+        max_filters_per_query=3,
+        max_attributes_per_filter=2,
+        max_total_filter_attributes=4,
+        distinct_constants=10,
+        disjunct_probability=0.1,
+        dimension_filter_probability=0.8,
+    )
+    return WorkloadGenerator(schema, profile, seed=seed).generate(name="JOB")

@@ -1,0 +1,291 @@
+"""A TPC-DS-like decision-support schema and its workloads.
+
+This module provides a from-scratch stand-in for the TPC-DS environment used
+in the paper's evaluation: the same star/snowflake shape (five fact tables,
+shared dimensions, one snowflaked dimension chain), nominal row counts that
+approximate the 100 GB scale factor, and workload factories for the complex
+(``WLc``) and simplified (``WLs``) query sets of Section 7.
+
+All attribute values are integers (the anonymiser maps client strings to
+integer codes before they reach the vendor), and attribute names carry the
+standard TPC-DS prefixes so they are globally unique.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.predicates.interval import Interval
+from repro.schema.relation import Attribute, ForeignKey, Relation
+from repro.schema.schema import Schema
+from repro.workload.generator import WorkloadGenerator, WorkloadProfile
+from repro.workload.query import Workload
+
+#: Nominal row counts approximating the 100 GB TPC-DS scale factor.
+NOMINAL_ROW_COUNTS: Dict[str, int] = {
+    "date_dim": 73_049,
+    "item": 204_000,
+    "customer_address": 1_000_000,
+    "customer": 2_000_000,
+    "customer_demographics": 1_920_800,
+    "household_demographics": 7_200,
+    "store": 402,
+    "promotion": 1_000,
+    "warehouse": 15,
+    "web_site": 24,
+    "catalog_page": 20_400,
+    "store_sales": 288_000_000,
+    "store_returns": 28_800_000,
+    "catalog_sales": 144_000_000,
+    "web_sales": 72_000_000,
+    "inventory": 399_330_000,
+}
+
+#: The five largest relations of the 100 GB instance (Figure 15).
+LARGEST_RELATIONS = ("store_returns", "web_sales", "inventory", "catalog_sales", "store_sales")
+
+#: Fact relations (scaled linearly with the target size).
+FACT_RELATIONS = ("store_sales", "store_returns", "catalog_sales", "web_sales", "inventory")
+
+
+def _attr(name: str, lo: int, hi: int) -> Attribute:
+    return Attribute(name=name, domain=Interval(lo, hi))
+
+
+def tpcds_schema(scale_factor: float = 1.0, dimension_scale: Optional[float] = None) -> Schema:
+    """Build the TPC-DS-like schema.
+
+    Parameters
+    ----------
+    scale_factor:
+        Multiplier applied to the fact-table row counts (1.0 corresponds to
+        the paper's 100 GB baseline).
+    dimension_scale:
+        Multiplier for dimension tables; defaults to ``min(1, scale_factor)``
+        so small test instances stay small while full-scale runs keep the
+        realistic dimension sizes.
+    """
+    if dimension_scale is None:
+        dimension_scale = min(1.0, scale_factor)
+
+    def rows(name: str) -> int:
+        base = NOMINAL_ROW_COUNTS[name]
+        factor = scale_factor if name in FACT_RELATIONS else dimension_scale
+        return max(8, int(round(base * factor)))
+
+    relations = [
+        Relation(
+            name="date_dim", primary_key="d_date_sk", row_count=rows("date_dim"),
+            attributes=[
+                _attr("d_year", 1998, 2004),
+                _attr("d_moy", 1, 13),
+                _attr("d_dom", 1, 29),
+                _attr("d_qoy", 1, 5),
+                _attr("d_day_of_week", 1, 8),
+                _attr("d_month_seq", 0, 2400),
+            ],
+        ),
+        Relation(
+            name="item", primary_key="i_item_sk", row_count=rows("item"),
+            attributes=[
+                _attr("i_category", 1, 11),
+                _attr("i_class", 1, 101),
+                _attr("i_brand", 1, 1001),
+                _attr("i_manufact", 1, 1001),
+                _attr("i_current_price", 0, 10_000),
+                _attr("i_wholesale_cost", 0, 8_000),
+                _attr("i_size", 1, 8),
+                _attr("i_color", 1, 93),
+            ],
+        ),
+        Relation(
+            name="customer_address", primary_key="ca_address_sk",
+            row_count=rows("customer_address"),
+            attributes=[
+                _attr("ca_state", 1, 52),
+                _attr("ca_county", 1, 1852),
+                _attr("ca_gmt_offset", 0, 12),
+                _attr("ca_location_type", 1, 4),
+            ],
+        ),
+        Relation(
+            name="customer", primary_key="c_customer_sk", row_count=rows("customer"),
+            foreign_keys=[ForeignKey(column="c_current_addr_sk", target="customer_address")],
+            attributes=[
+                _attr("c_birth_year", 1924, 1993),
+                _attr("c_birth_month", 1, 13),
+                _attr("c_salutation", 1, 7),
+                _attr("c_preferred_cust_flag", 0, 2),
+            ],
+        ),
+        Relation(
+            name="customer_demographics", primary_key="cd_demo_sk",
+            row_count=rows("customer_demographics"),
+            attributes=[
+                _attr("cd_gender", 0, 2),
+                _attr("cd_marital_status", 1, 6),
+                _attr("cd_education_status", 1, 8),
+                _attr("cd_purchase_estimate", 500, 10_000),
+                _attr("cd_dep_count", 0, 7),
+            ],
+        ),
+        Relation(
+            name="household_demographics", primary_key="hd_demo_sk",
+            row_count=rows("household_demographics"),
+            attributes=[
+                _attr("hd_income_band", 1, 21),
+                _attr("hd_buy_potential", 1, 7),
+                _attr("hd_dep_count", 0, 10),
+                _attr("hd_vehicle_count", 0, 5),
+            ],
+        ),
+        Relation(
+            name="store", primary_key="s_store_sk", row_count=rows("store"),
+            attributes=[
+                _attr("s_state", 1, 52),
+                _attr("s_number_employees", 200, 301),
+                _attr("s_floor_space", 5_000, 10_000),
+            ],
+        ),
+        Relation(
+            name="promotion", primary_key="p_promo_sk", row_count=rows("promotion"),
+            attributes=[
+                _attr("p_channel_email", 0, 2),
+                _attr("p_channel_tv", 0, 2),
+                _attr("p_response_target", 0, 2),
+            ],
+        ),
+        Relation(
+            name="warehouse", primary_key="w_warehouse_sk", row_count=rows("warehouse"),
+            attributes=[_attr("w_warehouse_sq_ft", 50, 1_000)],
+        ),
+        Relation(
+            name="web_site", primary_key="web_site_sk", row_count=rows("web_site"),
+            attributes=[_attr("web_tax_percentage", 0, 13)],
+        ),
+        Relation(
+            name="catalog_page", primary_key="cp_catalog_page_sk",
+            row_count=rows("catalog_page"),
+            attributes=[
+                _attr("cp_catalog_number", 1, 110),
+                _attr("cp_catalog_page_number", 1, 189),
+            ],
+        ),
+        Relation(
+            name="store_sales", primary_key="ss_ticket_number",
+            row_count=rows("store_sales"),
+            foreign_keys=[
+                ForeignKey(column="ss_sold_date_sk", target="date_dim"),
+                ForeignKey(column="ss_item_sk", target="item"),
+                ForeignKey(column="ss_customer_sk", target="customer"),
+                ForeignKey(column="ss_store_sk", target="store"),
+                ForeignKey(column="ss_promo_sk", target="promotion"),
+                ForeignKey(column="ss_hdemo_sk", target="household_demographics"),
+            ],
+            attributes=[
+                _attr("ss_quantity", 1, 101),
+                _attr("ss_sales_price", 0, 20_000),
+                _attr("ss_ext_discount_amt", 0, 30_000),
+                _attr("ss_net_profit", 0, 30_000),
+                _attr("ss_wholesale_cost", 1, 100),
+            ],
+        ),
+        Relation(
+            name="store_returns", primary_key="sr_ticket_number",
+            row_count=rows("store_returns"),
+            foreign_keys=[
+                ForeignKey(column="sr_returned_date_sk", target="date_dim"),
+                ForeignKey(column="sr_item_sk", target="item"),
+                ForeignKey(column="sr_customer_sk", target="customer"),
+            ],
+            attributes=[
+                _attr("sr_return_quantity", 1, 101),
+                _attr("sr_return_amt", 0, 20_000),
+                _attr("sr_fee", 0, 100),
+            ],
+        ),
+        Relation(
+            name="catalog_sales", primary_key="cs_order_number",
+            row_count=rows("catalog_sales"),
+            foreign_keys=[
+                ForeignKey(column="cs_sold_date_sk", target="date_dim"),
+                ForeignKey(column="cs_item_sk", target="item"),
+                ForeignKey(column="cs_bill_customer_sk", target="customer"),
+                ForeignKey(column="cs_catalog_page_sk", target="catalog_page"),
+                ForeignKey(column="cs_promo_sk", target="promotion"),
+                ForeignKey(column="cs_warehouse_sk", target="warehouse"),
+            ],
+            attributes=[
+                _attr("cs_quantity", 1, 101),
+                _attr("cs_list_price", 1, 30_000),
+                _attr("cs_net_paid", 0, 30_000),
+                _attr("cs_ext_ship_cost", 0, 15_000),
+            ],
+        ),
+        Relation(
+            name="web_sales", primary_key="ws_order_number",
+            row_count=rows("web_sales"),
+            foreign_keys=[
+                ForeignKey(column="ws_sold_date_sk", target="date_dim"),
+                ForeignKey(column="ws_item_sk", target="item"),
+                ForeignKey(column="ws_bill_customer_sk", target="customer"),
+                ForeignKey(column="ws_web_site_sk", target="web_site"),
+                ForeignKey(column="ws_promo_sk", target="promotion"),
+            ],
+            attributes=[
+                _attr("ws_quantity", 1, 101),
+                _attr("ws_sales_price", 0, 30_000),
+                _attr("ws_net_profit", 0, 30_000),
+            ],
+        ),
+        Relation(
+            name="inventory", primary_key="inv_sk", row_count=rows("inventory"),
+            foreign_keys=[
+                ForeignKey(column="inv_date_sk", target="date_dim"),
+                ForeignKey(column="inv_item_sk", target="item"),
+                ForeignKey(column="inv_warehouse_sk", target="warehouse"),
+            ],
+            attributes=[_attr("inv_quantity_on_hand", 0, 1_000)],
+        ),
+    ]
+    return Schema(relations, name="tpcds")
+
+
+# ---------------------------------------------------------------------- #
+# workloads
+# ---------------------------------------------------------------------- #
+def complex_workload(schema: Schema, num_queries: int = 131, seed: int = 11) -> Workload:
+    """The complex workload ``WLc``: many filtered attributes per relation and
+    a rich pool of distinct constants, which drives the DataSynth grid sizes
+    into the billions while Hydra stays at a few thousand regions."""
+    profile = WorkloadProfile(
+        num_queries=num_queries,
+        root_relations=FACT_RELATIONS,
+        max_joined_dimensions=4,
+        max_filters_per_query=3,
+        max_attributes_per_filter=2,
+        max_total_filter_attributes=4,
+        distinct_constants=6,
+        disjunct_probability=0.15,
+        dimension_filter_probability=0.6,
+        attribute_affinity=2.5,
+    )
+    return WorkloadGenerator(schema, profile, seed=seed).generate(name="WLc")
+
+
+def simple_workload(schema: Schema, num_queries: int = 110, seed: int = 13) -> Workload:
+    """The simplified workload ``WLs``: at most two filtered attributes per
+    relation and few distinct constants, keeping the grid formulation small
+    enough for the DataSynth baseline to solve."""
+    profile = WorkloadProfile(
+        num_queries=num_queries,
+        root_relations=FACT_RELATIONS,
+        max_joined_dimensions=2,
+        max_filters_per_query=2,
+        max_attributes_per_filter=1,
+        max_total_filter_attributes=2,
+        distinct_constants=3,
+        disjunct_probability=0.0,
+        dimension_filter_probability=0.6,
+    )
+    return WorkloadGenerator(schema, profile, seed=seed).generate(name="WLs")

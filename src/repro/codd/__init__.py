@@ -1,0 +1,29 @@
+"""CODD-style dataless metadata, anonymisation and scale-factor modelling."""
+
+from repro.codd.anonymizer import Anonymizer
+from repro.codd.metadata import (
+    AttributeStats,
+    MetadataCatalog,
+    RelationMetadata,
+    capture_metadata,
+)
+from repro.codd.scaling import (
+    BYTES_PER_VALUE,
+    bytes_per_row,
+    database_bytes,
+    scale_constraints,
+    scale_factor_for_bytes,
+)
+
+__all__ = [
+    "Anonymizer",
+    "MetadataCatalog",
+    "RelationMetadata",
+    "AttributeStats",
+    "capture_metadata",
+    "BYTES_PER_VALUE",
+    "bytes_per_row",
+    "database_bytes",
+    "scale_factor_for_bytes",
+    "scale_constraints",
+]

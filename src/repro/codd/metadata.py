@@ -1,0 +1,106 @@
+"""CODD-style dataless metadata (Section 3 and Section 7.4).
+
+CODD lets a database environment be described purely through metadata —
+relation cardinalities and per-attribute statistics — without ever holding
+the data.  The reproduction uses it for two purposes:
+
+* capturing the client database's metadata for transfer to the vendor
+  (metadata matching keeps the plan choices aligned), and
+* modelling arbitrarily large databases: the exabyte experiment scales a
+  small instance's metadata and AQP cardinalities by a scale factor instead
+  of materialising anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.schema.schema import Schema
+
+
+@dataclass
+class AttributeStats:
+    """Dataless statistics for one attribute: bounds, distinct-value count
+    and an equi-width histogram."""
+
+    name: str
+    minimum: int
+    maximum: int
+    distinct: int
+    histogram_edges: List[float] = field(default_factory=list)
+    histogram_counts: List[int] = field(default_factory=list)
+
+
+@dataclass
+class RelationMetadata:
+    """Dataless description of one relation."""
+
+    name: str
+    row_count: int
+    attributes: Dict[str, AttributeStats] = field(default_factory=dict)
+
+
+@dataclass
+class MetadataCatalog:
+    """A CODD-style metadata catalog for a whole database."""
+
+    relations: Dict[str, RelationMetadata] = field(default_factory=dict)
+
+    def row_counts(self) -> Dict[str, int]:
+        """Relation cardinalities recorded in the catalog."""
+        return {name: meta.row_count for name, meta in self.relations.items()}
+
+    def scaled(self, factor: float) -> "MetadataCatalog":
+        """Return a catalog describing a database ``factor`` times larger.
+
+        Only cardinalities change; attribute value distributions are assumed
+        to be scale-invariant, which is how the paper models the exabyte
+        scenario (plans are obtained at the target scale from metadata alone,
+        then executed at a small scale and their counts multiplied up).
+        """
+        scaled = MetadataCatalog()
+        for name, meta in self.relations.items():
+            scaled.relations[name] = RelationMetadata(
+                name=name,
+                row_count=int(round(meta.row_count * factor)),
+                attributes=dict(meta.attributes),
+            )
+        return scaled
+
+    def total_bytes(self, bytes_per_value: int = 8) -> int:
+        """Rough size estimate of the described database."""
+        total = 0
+        for meta in self.relations.values():
+            width = len(meta.attributes) + 1
+            total += meta.row_count * width * bytes_per_value
+        return total
+
+
+def capture_metadata(database: Database, bins: int = 10) -> MetadataCatalog:
+    """Capture a metadata catalog from a materialised database instance."""
+    catalog = MetadataCatalog()
+    for relation in database.relations:
+        table = database.table(relation)
+        rel = database.schema.relation(relation)
+        meta = RelationMetadata(name=relation, row_count=table.num_rows)
+        for attribute in rel.attribute_names:
+            values = table.column(attribute)
+            if values.size == 0:
+                stats = AttributeStats(name=attribute, minimum=0, maximum=0, distinct=0)
+            else:
+                counts, edges = np.histogram(values, bins=bins)
+                stats = AttributeStats(
+                    name=attribute,
+                    minimum=int(values.min()),
+                    maximum=int(values.max()),
+                    distinct=int(np.unique(values).size),
+                    histogram_edges=edges.tolist(),
+                    histogram_counts=counts.tolist(),
+                )
+            meta.attributes[attribute] = stats
+        catalog.relations[relation] = meta
+    return catalog

@@ -1,0 +1,52 @@
+"""Scale-factor modelling of large databases (Section 7.4).
+
+The exabyte experiment in the paper never materialises an exabyte: optimizer
+plans are obtained from scaled metadata, executed on the 100 GB instance, and
+the observed intermediate row counts are multiplied by the scale factor.
+These helpers implement that arithmetic for this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.constraints.workload import ConstraintSet
+from repro.schema.schema import Schema
+
+#: Rough number of bytes a single stored value occupies, used to convert
+#: between target database sizes and row-count scale factors.
+BYTES_PER_VALUE = 8
+
+
+def bytes_per_row(schema: Schema, relation: str, bytes_per_value: int = BYTES_PER_VALUE) -> int:
+    """Approximate width of one row of ``relation`` in bytes."""
+    rel = schema.relation(relation)
+    return bytes_per_value * len(rel.all_columns)
+
+
+def database_bytes(schema: Schema, row_counts: Optional[Dict[str, int]] = None,
+                   bytes_per_value: int = BYTES_PER_VALUE) -> int:
+    """Approximate size in bytes of a database with the given row counts."""
+    counts = row_counts or {rel.name: rel.row_count for rel in schema.relations}
+    return sum(
+        counts.get(rel.name, 0) * bytes_per_row(schema, rel.name, bytes_per_value)
+        for rel in schema.relations
+    )
+
+
+def scale_factor_for_bytes(schema: Schema, target_bytes: int,
+                           row_counts: Optional[Dict[str, int]] = None) -> float:
+    """Scale factor needed to blow a database up to ``target_bytes``."""
+    current = database_bytes(schema, row_counts)
+    if current <= 0:
+        return 1.0
+    return target_bytes / current
+
+
+def scale_constraints(ccs: ConstraintSet, factor: float, name: Optional[str] = None,
+                      ) -> ConstraintSet:
+    """Scale every CC cardinality by ``factor`` (CODD's metadata scaling)."""
+    scaled = ccs.scaled(factor)
+    if name is not None:
+        scaled.name = name
+    return scaled

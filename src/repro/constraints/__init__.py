@@ -1,0 +1,17 @@
+"""Cardinality constraints, constraint sets and the AQP-to-CC parser."""
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.parser import (
+    constraints_from_plan,
+    constraints_from_plans,
+    relation_size_constraints,
+)
+from repro.constraints.workload import ConstraintSet
+
+__all__ = [
+    "CardinalityConstraint",
+    "ConstraintSet",
+    "constraints_from_plan",
+    "constraints_from_plans",
+    "relation_size_constraints",
+]

@@ -1,0 +1,140 @@
+"""AQP-to-CC parser.
+
+The client-side Parser of Figure 2 converts annotated query plans into
+declarative cardinality constraints (the rewriting shown going from Figure
+1(c) to Figure 1(d)):
+
+* the output of a filter over a base relation becomes a single-relation CC,
+* the output of every join becomes a CC over the join expression, whose
+  predicate is the conjunction of all filters applied so far and whose root
+  relation is the query's root (the "many" side, whose view covers every
+  attribute involved),
+* base-relation sizes become unconditional CCs ``|R| = k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.constraints.workload import ConstraintSet
+from repro.engine.plan import AnnotatedQueryPlan, FilterNode, JoinNode, PlanNode, ScanNode
+from repro.predicates.dnf import DNFPredicate
+from repro.schema.schema import Schema
+
+
+def constraints_from_plan(plan: AnnotatedQueryPlan) -> List[CardinalityConstraint]:
+    """Convert a single AQP into its cardinality constraints.
+
+    Scan nodes do not contribute constraints here (table sizes are emitted
+    once per workload by :func:`relation_size_constraints` instead of once per
+    query, to avoid duplicates).
+    """
+    out: List[CardinalityConstraint] = []
+    _walk(plan.root, plan, out)
+    return out
+
+
+def _walk(node: PlanNode, plan: AnnotatedQueryPlan,
+          out: List[CardinalityConstraint]) -> Tuple[DNFPredicate, Tuple[str, ...]]:
+    """Post-order traversal returning (accumulated predicate, relations)."""
+    if isinstance(node, ScanNode):
+        return DNFPredicate.true(), (node.relation,)
+    if isinstance(node, FilterNode):
+        child_pred, child_rels = _walk(node.child, plan, out)
+        predicate = child_pred.conjoin(node.predicate)
+        out.append(
+            CardinalityConstraint(
+                relation=node.relation if len(child_rels) == 1 else plan.root_relation,
+                predicate=predicate,
+                cardinality=node.cardinality,
+                joined_relations=child_rels,
+                query_id=plan.query_id,
+            )
+        )
+        return predicate, child_rels
+    if isinstance(node, JoinNode):
+        left_pred, left_rels = _walk(node.left, plan, out)
+        right_pred, right_rels = _walk(node.right, plan, out)
+        predicate = left_pred.conjoin(right_pred)
+        relations = tuple(dict.fromkeys(left_rels + right_rels))
+        out.append(
+            CardinalityConstraint(
+                relation=plan.root_relation,
+                predicate=predicate,
+                cardinality=node.cardinality,
+                joined_relations=relations,
+                query_id=plan.query_id,
+            )
+        )
+        return predicate, relations
+    raise TypeError(f"unexpected plan node {type(node)!r}")
+
+
+def relation_size_constraints(schema: Schema, relations: Optional[Iterable[str]] = None,
+                              row_counts: Optional[Dict[str, int]] = None,
+                              ) -> List[CardinalityConstraint]:
+    """Emit the unconditional ``|R| = k`` constraint for each relation.
+
+    ``row_counts`` overrides the nominal counts stored in the schema (e.g.
+    with the counts observed on an actual database instance).
+    """
+    names = list(relations) if relations is not None else list(schema.relation_names)
+    out: List[CardinalityConstraint] = []
+    for name in names:
+        rel = schema.relation(name)
+        count = (row_counts or {}).get(name, rel.row_count)
+        out.append(
+            CardinalityConstraint(
+                relation=name,
+                predicate=DNFPredicate.true(),
+                cardinality=count,
+                joined_relations=(name,),
+                query_id=None,
+            )
+        )
+    return out
+
+
+def constraints_from_plans(plans: Sequence[AnnotatedQueryPlan], schema: Schema,
+                           row_counts: Optional[Dict[str, int]] = None,
+                           include_sizes: bool = True,
+                           deduplicate: bool = True,
+                           name: str = "ccs") -> ConstraintSet:
+    """Convert a whole workload's AQPs into a :class:`ConstraintSet`.
+
+    Parameters
+    ----------
+    plans:
+        The annotated plans of the workload.
+    schema:
+        The client schema (used for table-size constraints).
+    row_counts:
+        Observed per-relation row counts; defaults to the schema's nominal
+        counts.
+    include_sizes:
+        Whether to add the unconditional ``|R| = k`` constraints for every
+        relation touched by the workload.
+    deduplicate:
+        Drop exact duplicates (same root relation, predicate and cardinality)
+        which naturally occur when several queries share sub-expressions.
+    """
+    ccs = ConstraintSet(name=name)
+    touched: Set[str] = set()
+    seen = set()
+    for plan in plans:
+        touched.update(plan.relations)
+        for cc in constraints_from_plan(plan):
+            key = (cc.relation, cc.predicate, cc.cardinality)
+            if deduplicate and key in seen:
+                continue
+            seen.add(key)
+            ccs.add(cc)
+    if include_sizes:
+        for cc in relation_size_constraints(schema, sorted(touched), row_counts):
+            key = (cc.relation, cc.predicate, cc.cardinality)
+            if deduplicate and key in seen:
+                continue
+            seen.add(key)
+            ccs.add(cc)
+    return ccs

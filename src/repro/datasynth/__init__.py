@@ -1,0 +1,10 @@
+"""DataSynth baseline: grid-partitioned LP and sampling-based instantiation."""
+
+from repro.datasynth.pipeline import (
+    DataSynth,
+    DataSynthConfig,
+    DataSynthResult,
+    ViewInstance,
+)
+
+__all__ = ["DataSynth", "DataSynthConfig", "DataSynthResult", "ViewInstance"]

@@ -1,0 +1,24 @@
+"""In-memory columnar relational engine producing annotated query plans."""
+
+from repro.engine.database import Database
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.plan import (
+    AnnotatedQueryPlan,
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.engine.table import Table
+
+__all__ = [
+    "Table",
+    "Database",
+    "Executor",
+    "ExecutionResult",
+    "AnnotatedQueryPlan",
+    "PlanNode",
+    "ScanNode",
+    "FilterNode",
+    "JoinNode",
+]

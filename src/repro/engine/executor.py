@@ -1,0 +1,125 @@
+"""Query executor producing annotated query plans.
+
+The executor evaluates a :class:`~repro.workload.query.Query` against a
+:class:`~repro.engine.database.Database`, building the left-deep plan of the
+paper's Figure 1(c): scan/filter the root relation, then repeatedly filter a
+dimension relation and PK-FK join it in.  Every operator's output cardinality
+is recorded, which is precisely the AQP the client site ships to the vendor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.plan import AnnotatedQueryPlan, FilterNode, JoinNode, PlanNode, ScanNode
+from repro.engine.table import Table
+from repro.errors import EngineError
+from repro.workload.query import Query, Workload
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of executing one query: the final intermediate table (the
+    join result, before any projection/aggregation) and the AQP."""
+
+    table: Table
+    plan: AnnotatedQueryPlan
+
+
+class Executor:
+    """Executes workload queries against a database, producing AQPs."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.schema = database.schema
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def execute(self, query: Query) -> ExecutionResult:
+        """Execute ``query`` and return the result table plus its AQP."""
+        query.validate(self.schema)
+        root_rel = self.schema.relation(query.root)
+
+        current = self.database.table(query.root)
+        plan: PlanNode = ScanNode(relation=query.root, cardinality=current.num_rows)
+
+        root_filter = query.filter_for(query.root)
+        if not root_filter.is_true:
+            current = current.select(current.evaluate(root_filter))
+            plan = FilterNode(
+                relation=query.root,
+                predicate=root_filter,
+                child=plan,
+                cardinality=current.num_rows,
+            )
+
+        for child, fk_column, parent in query.join_order(self.schema):
+            parent_table = self.database.table(parent)
+            parent_scan: PlanNode = ScanNode(relation=parent, cardinality=parent_table.num_rows)
+            parent_filter = query.filter_for(parent)
+            if not parent_filter.is_true:
+                parent_table = parent_table.select(parent_table.evaluate(parent_filter))
+                parent_scan = FilterNode(
+                    relation=parent,
+                    predicate=parent_filter,
+                    child=parent_scan,
+                    cardinality=parent_table.num_rows,
+                )
+            current = self._pk_fk_join(current, fk_column, parent, parent_table)
+            plan = JoinNode(
+                fk_column=fk_column,
+                parent_relation=parent,
+                left=plan,
+                right=parent_scan,
+                cardinality=current.num_rows,
+            )
+
+        aqp = AnnotatedQueryPlan(
+            query_id=query.query_id,
+            root_relation=query.root,
+            root=plan,
+            relations=tuple(query.relations),
+        )
+        return ExecutionResult(table=current, plan=aqp)
+
+    def execute_workload(self, workload: Workload) -> List[AnnotatedQueryPlan]:
+        """Execute every query of the workload, returning the AQPs."""
+        return [self.execute(query).plan for query in workload]
+
+    # ------------------------------------------------------------------ #
+    # join implementation
+    # ------------------------------------------------------------------ #
+    def _pk_fk_join(self, left: Table, fk_column: str, parent: str,
+                    parent_table: Table) -> Table:
+        """Join the running intermediate result with a (possibly filtered)
+        parent relation on ``left.fk_column = parent.pk``."""
+        if not left.has_column(fk_column):
+            raise EngineError(
+                f"intermediate result is missing foreign-key column {fk_column!r}"
+            )
+        parent_rel = self.schema.relation(parent)
+        pk = parent_table.column(parent_rel.primary_key)
+        fks = left.column(fk_column)
+
+        order = np.argsort(pk, kind="stable")
+        pk_sorted = pk[order]
+        positions = np.searchsorted(pk_sorted, fks)
+        positions = np.clip(positions, 0, max(len(pk_sorted) - 1, 0))
+        if len(pk_sorted) == 0:
+            matched = np.zeros(len(fks), dtype=bool)
+        else:
+            matched = pk_sorted[positions] == fks
+
+        joined_left = left.select(matched)
+        parent_rows = order[positions[matched]]
+        extra: Dict[str, np.ndarray] = {}
+        for column in parent_table.column_names:
+            if column == parent_rel.primary_key or joined_left.has_column(column):
+                continue
+            extra[column] = parent_table.column(column)[parent_rows]
+        return joined_left.with_columns(extra)

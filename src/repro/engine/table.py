@@ -1,0 +1,175 @@
+"""In-memory columnar tables.
+
+The engine substrate stores every relation as a set of equal-length
+``numpy.int64`` columns.  All values are integers (the anonymizer of the paper
+maps client values to integers before they ever reach the vendor pipeline),
+which keeps scans, joins and predicate evaluation simple and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError
+from repro.predicates.conjunct import Conjunct
+from repro.predicates.dnf import DNFPredicate
+from repro.predicates.interval import IntervalSet
+
+
+class Table:
+    """A columnar table: a mapping of column name to an int64 array."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray], name: str = "") -> None:
+        if not columns:
+            raise EngineError("a table needs at least one column")
+        arrays: Dict[str, np.ndarray] = {}
+        length: Optional[int] = None
+        for col_name, values in columns.items():
+            arr = np.asarray(values, dtype=np.int64)
+            if arr.ndim != 1:
+                raise EngineError(f"column {col_name!r} must be one-dimensional")
+            if length is None:
+                length = arr.shape[0]
+            elif arr.shape[0] != length:
+                raise EngineError(
+                    f"column {col_name!r} has {arr.shape[0]} rows, expected {length}"
+                )
+            arrays[col_name] = arr
+        self.name = name
+        self._columns = arrays
+        self._num_rows = int(length or 0)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, column_names: Sequence[str], name: str = "") -> "Table":
+        """Return a table with the given columns and zero rows."""
+        return cls({c: np.empty(0, dtype=np.int64) for c in column_names}, name=name)
+
+    @classmethod
+    def from_rows(cls, column_names: Sequence[str], rows: Iterable[Sequence[int]],
+                  name: str = "") -> "Table":
+        """Build a table from an iterable of row tuples."""
+        data = list(rows)
+        if not data:
+            return cls.empty(column_names, name=name)
+        matrix = np.asarray(data, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(column_names):
+            raise EngineError("row width does not match the number of columns")
+        return cls({c: matrix[:, i] for i, c in enumerate(column_names)}, name=name)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Column names in insertion order."""
+        return tuple(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the array backing the named column."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise EngineError(f"table {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """Return ``True`` if the table has the named column."""
+        return name in self._columns
+
+    def row(self, index: int) -> Dict[str, int]:
+        """Return a single row as a dict (slow; intended for tests/debug)."""
+        if not 0 <= index < self._num_rows:
+            raise EngineError(f"row index {index} out of range")
+        return {c: int(arr[index]) for c, arr in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, int]]:
+        """Iterate over rows as dicts (slow; intended for tests/debug)."""
+        for i in range(self._num_rows):
+            yield self.row(i)
+
+    # ------------------------------------------------------------------ #
+    # relational operations used by the executor
+    # ------------------------------------------------------------------ #
+    def select(self, mask: np.ndarray) -> "Table":
+        """Return the rows where ``mask`` is true."""
+        if mask.shape[0] != self._num_rows:
+            raise EngineError("selection mask length does not match table")
+        return Table({c: arr[mask] for c, arr in self._columns.items()}, name=self.name)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return the rows at the given positions (with repetition allowed)."""
+        return Table({c: arr[indices] for c, arr in self._columns.items()}, name=self.name)
+
+    def with_columns(self, extra: Mapping[str, np.ndarray]) -> "Table":
+        """Return a copy extended with additional columns."""
+        merged: Dict[str, np.ndarray] = dict(self._columns)
+        for name, values in extra.items():
+            if name in merged:
+                raise EngineError(f"column {name!r} already present")
+            merged[name] = values
+        return Table(merged, name=self.name)
+
+    def project(self, columns: Sequence[str]) -> "Table":
+        """Return a copy restricted to the given columns."""
+        return Table({c: self.column(c) for c in columns}, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # predicate evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, predicate: DNFPredicate) -> np.ndarray:
+        """Return a boolean mask of rows satisfying a DNF predicate.
+
+        Attributes mentioned by the predicate but absent from the table make
+        the corresponding conjunct false for all rows (consistent with
+        :meth:`Conjunct.evaluate` on missing attributes).
+        """
+        if predicate.is_true:
+            return np.ones(self._num_rows, dtype=bool)
+        mask = np.zeros(self._num_rows, dtype=bool)
+        for conjunct in predicate.conjuncts:
+            mask |= self._evaluate_conjunct(conjunct)
+        return mask
+
+    def _evaluate_conjunct(self, conjunct: Conjunct) -> np.ndarray:
+        mask = np.ones(self._num_rows, dtype=bool)
+        for attr, values in conjunct.constraints.items():
+            if not self.has_column(attr):
+                return np.zeros(self._num_rows, dtype=bool)
+            mask &= _membership_mask(self.column(attr), values)
+            if not mask.any():
+                break
+        return mask
+
+    def count(self, predicate: DNFPredicate) -> int:
+        """Return the number of rows satisfying the predicate."""
+        return int(self.evaluate(predicate).sum())
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the table in bytes."""
+        return sum(arr.nbytes for arr in self._columns.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, {self._num_rows} rows, {len(self._columns)} cols)"
+
+
+def _membership_mask(values: np.ndarray, allowed: IntervalSet) -> np.ndarray:
+    """Vectorised membership test of ``values`` in an :class:`IntervalSet`."""
+    mask = np.zeros(values.shape[0], dtype=bool)
+    for interval in allowed:
+        mask |= (values >= interval.lo) & (values < interval.hi)
+    return mask

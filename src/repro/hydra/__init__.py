@@ -1,0 +1,13 @@
+"""The Hydra regenerator: client-side extraction and vendor-side pipeline."""
+
+from repro.hydra.client import ClientPackage, extract_constraints
+from repro.hydra.pipeline import Hydra, HydraConfig, HydraResult, ViewBuildReport
+
+__all__ = [
+    "Hydra",
+    "HydraConfig",
+    "HydraResult",
+    "ViewBuildReport",
+    "ClientPackage",
+    "extract_constraints",
+]

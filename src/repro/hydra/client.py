@@ -1,0 +1,48 @@
+"""Client-side helpers (the left half of Figure 2).
+
+At the client site, Hydra executes the query workload against the original
+database to obtain annotated query plans, converts them into cardinality
+constraints with the parser, and (optionally) anonymises values before
+anything leaves the premises.  These helpers bundle those steps so that the
+vendor-side pipeline can be exercised end to end in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.codd.anonymizer import Anonymizer
+from repro.constraints.parser import constraints_from_plans
+from repro.constraints.workload import ConstraintSet
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.plan import AnnotatedQueryPlan
+from repro.workload.query import Workload
+
+
+@dataclass
+class ClientPackage:
+    """Everything the client ships to the vendor: the (anonymised) schema is
+    implicit in the shared :class:`~repro.schema.Schema` object, the AQPs are
+    retained for reporting, and the CCs drive regeneration."""
+
+    plans: List[AnnotatedQueryPlan]
+    constraints: ConstraintSet
+    row_counts: Dict[str, int]
+
+
+def extract_constraints(database: Database, workload: Workload,
+                        include_sizes: bool = True,
+                        name: str = "client-ccs") -> ClientPackage:
+    """Execute the workload on the client database and derive its CCs."""
+    workload.validate(database.schema)
+    executor = Executor(database)
+    plans = executor.execute_workload(workload)
+    row_counts = {rel: database.table(rel).num_rows for rel in workload.relations()
+                  if database.has_table(rel)}
+    constraints = constraints_from_plans(
+        plans, database.schema, row_counts=row_counts,
+        include_sizes=include_sizes, name=name,
+    )
+    return ClientPackage(plans=plans, constraints=constraints, row_counts=row_counts)

@@ -1,0 +1,224 @@
+"""The Hydra vendor-side pipeline (Figure 2).
+
+Given the client schema and the cardinality constraints extracted from the
+client's annotated query plans, :class:`Hydra` produces a
+:class:`~repro.summary.DatabaseSummary`:
+
+1. the shared preprocessor rewrites CCs onto per-relation views and
+   decomposes each view into sub-views (maximal cliques),
+2. the LP formulator region-partitions every sub-view and emits one LP per
+   view (cardinality constraints + cross-sub-view consistency constraints),
+3. the LP solver finds an integral feasible point,
+4. the summary generator deterministically aligns and merges the sub-view
+   solutions, instantiates view summaries, repairs referential integrity and
+   extracts the per-relation summaries.
+
+The summary can then be handed to the tuple generator for dynamic generation
+or materialisation — both of which cost time proportional to the *target*
+data size, while everything in this module costs time independent of it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.constraints.workload import ConstraintSet
+from repro.errors import LPTooLargeError
+from repro.lp.formulate import (
+    STRATEGY_GRID,
+    STRATEGY_REGION,
+    count_lp_variables,
+    formulate_view_lp,
+)
+from repro.lp.model import ViewLP
+from repro.lp.solver import LPSolver
+from repro.schema.schema import Schema
+from repro.summary.align import merge_subview_solutions
+from repro.summary.consistency import enforce_referential_consistency
+from repro.summary.relation_summary import (
+    DatabaseSummary,
+    build_relation_summary,
+)
+from repro.summary.solution import ViewSolution, subview_solutions
+from repro.summary.view_summary import ViewSummary, instantiate_view_summary
+from repro.views.preprocess import Preprocessor, ViewTask
+
+
+@dataclass
+class HydraConfig:
+    """Tuning knobs of the Hydra pipeline.
+
+    Parameters
+    ----------
+    strategy:
+        Partitioning strategy; ``"region"`` is Hydra proper, ``"grid"`` turns
+        the pipeline into a DataSynth-style formulation (useful for
+        ablations).
+    prefer_integer:
+        Ask the solver for an exactly integral solution first.
+    milp_variable_limit / time_limit:
+        Passed to :class:`~repro.lp.solver.LPSolver`.
+    max_grid_variables:
+        Ceiling on grid materialisation when ``strategy="grid"``.
+    """
+
+    strategy: str = STRATEGY_REGION
+    prefer_integer: bool = True
+    milp_variable_limit: int = 4_000
+    time_limit: Optional[float] = 10.0
+    max_grid_variables: int = 200_000
+    max_region_variables: int = 8_000
+
+
+@dataclass
+class ViewBuildReport:
+    """Diagnostics for one view: LP size, solve statistics and timings."""
+
+    relation: str
+    num_subviews: int = 0
+    num_constraints: int = 0
+    lp_variables: int = 0
+    lp_constraints: int = 0
+    solver_method: str = "none"
+    max_violation: float = 0.0
+    formulate_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    merge_seconds: float = 0.0
+
+
+@dataclass
+class HydraResult:
+    """The outcome of a Hydra run: the database summary plus per-view
+    diagnostics (used by the experiment harness)."""
+
+    summary: DatabaseSummary
+    view_reports: Dict[str, ViewBuildReport] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    @property
+    def lp_variable_counts(self) -> Dict[str, int]:
+        """LP variables per relation (Figure 12 / 17 metric)."""
+        return {name: report.lp_variables for name, report in self.view_reports.items()}
+
+    def lp_seconds(self) -> float:
+        """Total LP formulation + solving time (Figure 13 metric)."""
+        return sum(r.formulate_seconds + r.solve_seconds for r in self.view_reports.values())
+
+
+class Hydra:
+    """The Hydra data regenerator."""
+
+    def __init__(self, schema: Schema, config: Optional[HydraConfig] = None) -> None:
+        self.schema = schema
+        self.config = config or HydraConfig()
+        self.preprocessor = Preprocessor(schema)
+        self.solver = LPSolver(
+            prefer_integer=self.config.prefer_integer,
+            milp_variable_limit=self.config.milp_variable_limit,
+            time_limit=self.config.time_limit,
+        )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def build_summary(self, ccs: ConstraintSet,
+                      relations: Optional[Sequence[str]] = None) -> HydraResult:
+        """Run the full vendor-side pipeline and return the database summary.
+
+        Parameters
+        ----------
+        ccs:
+            The client's cardinality constraints.
+        relations:
+            The relations to regenerate; defaults to every relation of the
+            schema (relations without constraints receive a single-row
+            summary carrying their nominal row count).
+        """
+        started = time.perf_counter()
+        names = list(relations) if relations is not None else list(self.schema.relation_names)
+        by_relation = ccs.by_relation()
+
+        view_summaries: Dict[str, ViewSummary] = {}
+        reports: Dict[str, ViewBuildReport] = {}
+        for relation in names:
+            constraints = by_relation.get(relation, [])
+            task = self.preprocessor.build_task(relation, constraints)
+            view_summaries[relation], reports[relation] = self._build_view_summary(task)
+
+        consistency = enforce_referential_consistency(
+            view_summaries, self.preprocessor.views, self.schema
+        )
+
+        summary = DatabaseSummary()
+        for relation in names:
+            summary.relations[relation] = build_relation_summary(
+                relation, view_summaries, self.preprocessor.views, self.schema
+            )
+        summary.extra_tuples = dict(consistency.extra_tuples)
+        summary.lp_variable_counts = {
+            name: report.lp_variables for name, report in reports.items()
+        }
+        summary.timings = {
+            "total_seconds": time.perf_counter() - started,
+            "lp_seconds": sum(r.formulate_seconds + r.solve_seconds for r in reports.values()),
+            "merge_seconds": sum(r.merge_seconds for r in reports.values()),
+        }
+        return HydraResult(
+            summary=summary,
+            view_reports=reports,
+            total_seconds=time.perf_counter() - started,
+        )
+
+    def count_lp_variables(self, ccs: ConstraintSet,
+                           strategy: Optional[str] = None) -> Dict[str, int]:
+        """Count LP variables per relation without solving (Figures 12/17)."""
+        strategy = strategy or self.config.strategy
+        counts: Dict[str, int] = {}
+        for relation, constraints in ccs.by_relation().items():
+            task = self.preprocessor.build_task(relation, constraints)
+            counts[relation] = count_lp_variables(task, strategy)
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # per-view processing
+    # ------------------------------------------------------------------ #
+    def _build_view_summary(self, task: ViewTask) -> Tuple[ViewSummary, ViewBuildReport]:
+        report = ViewBuildReport(
+            relation=task.relation,
+            num_subviews=len(task.subviews),
+            num_constraints=len(task.constraints),
+        )
+        view = task.view
+
+        if not task.subviews:
+            summary = instantiate_view_summary(view, None, task.total_rows)
+            return summary, report
+
+        t0 = time.perf_counter()
+        view_lp = formulate_view_lp(
+            task,
+            strategy=self.config.strategy,
+            max_grid_variables=self.config.max_grid_variables,
+            max_region_variables=self.config.max_region_variables,
+        )
+        report.formulate_seconds = time.perf_counter() - t0
+        report.lp_variables = view_lp.num_variables
+        report.lp_constraints = view_lp.model.num_constraints
+
+        solution = self.solver.solve(view_lp.model)
+        report.solve_seconds = solution.solve_seconds
+        report.solver_method = solution.method
+        report.max_violation = solution.max_violation
+
+        t1 = time.perf_counter()
+        per_subview = subview_solutions(view_lp, solution)
+        order = task.merge_order()
+        view_solution = merge_subview_solutions(
+            task.relation, per_subview, order,
+            aligned_attributes=view_lp.aligned_attributes,
+        )
+        summary = instantiate_view_summary(view, view_solution, task.total_rows)
+        report.merge_seconds = time.perf_counter() - t1
+        return summary, report

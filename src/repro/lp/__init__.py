@@ -1,0 +1,26 @@
+"""LP formulation (region and grid strategies) and feasibility solvers."""
+
+from repro.lp.formulate import (
+    DEFAULT_MAX_GRID_VARIABLES,
+    STRATEGY_GRID,
+    STRATEGY_REGION,
+    count_lp_variables,
+    formulate_view_lp,
+)
+from repro.lp.model import LPConstraint, LPModel, LPSolution, SubViewBlock, ViewLP
+from repro.lp.solver import DEFAULT_MILP_VARIABLE_LIMIT, LPSolver
+
+__all__ = [
+    "LPModel",
+    "LPConstraint",
+    "LPSolution",
+    "SubViewBlock",
+    "ViewLP",
+    "LPSolver",
+    "DEFAULT_MILP_VARIABLE_LIMIT",
+    "formulate_view_lp",
+    "count_lp_variables",
+    "STRATEGY_REGION",
+    "STRATEGY_GRID",
+    "DEFAULT_MAX_GRID_VARIABLES",
+]

@@ -1,0 +1,293 @@
+"""LP formulation for a view (Section 4).
+
+Given a :class:`~repro.views.preprocess.ViewTask` (view definition, rewritten
+constraints, sub-view decomposition), the formulator:
+
+1. partitions every sub-view's domain — with **region partitioning** for
+   Hydra or **grid partitioning** for the DataSynth baseline;
+2. refines the partitions along attributes shared between sub-views so that
+   marginal distributions can be equated;
+3. emits the equality constraints: one per cardinality constraint per
+   sub-view in whose scope it falls, plus the consistency constraints along
+   the clique-tree edges.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import LPError, LPTooLargeError, PartitionBudgetError
+from repro.partition.box import Box
+from repro.partition.box import Box
+from repro.partition.consistency import RefinedVariable
+from repro.partition.grid import grid_cell_count, grid_intervals
+from repro.partition.signature import (
+    partition_variables,
+    shared_segments_from_constraints,
+)
+from repro.lp.model import LPModel, SubViewBlock, ViewLP
+from repro.views.preprocess import SubView, ViewConstraint, ViewTask
+
+#: Strategies understood by :func:`formulate_view_lp`.
+STRATEGY_REGION = "region"
+STRATEGY_GRID = "grid"
+
+#: Ceiling on materialised grid variables (the DataSynth "solver crash" limit).
+DEFAULT_MAX_GRID_VARIABLES = 200_000
+
+#: Soft budget on region-strategy LP variables per view.  When the
+#: consistency refinement would exceed it, refinement is dropped attribute by
+#: attribute (most expensive first); alignment then operates on the remaining
+#: attributes, trading a little volumetric accuracy for bounded LP size.
+DEFAULT_MAX_REGION_VARIABLES = 8_000
+
+
+def formulate_view_lp(task: ViewTask, strategy: str = STRATEGY_REGION,
+                      max_grid_variables: int = DEFAULT_MAX_GRID_VARIABLES,
+                      max_region_variables: int = DEFAULT_MAX_REGION_VARIABLES) -> ViewLP:
+    """Build the LP for one view using the requested partitioning strategy."""
+    if strategy == STRATEGY_REGION:
+        variables_per_subview, aligned = _region_variables(task, max_region_variables)
+    elif strategy == STRATEGY_GRID:
+        variables_per_subview = _grid_variables(task, max_grid_variables)
+        aligned = tuple(sorted(_shared_attributes(task)))
+    else:
+        raise LPError(f"unknown partitioning strategy {strategy!r}")
+
+    model = LPModel(name=f"{task.relation}:{strategy}")
+    blocks: List[SubViewBlock] = []
+    for index, subview in enumerate(task.subviews):
+        refined = variables_per_subview[index]
+        start = model.num_variables
+        model.num_variables += len(refined)
+        blocks.append(
+            SubViewBlock(
+                subview_index=index,
+                attributes=subview.attributes,
+                variable_indices=tuple(range(start, start + len(refined))),
+                variables=refined,
+            )
+        )
+
+    _add_cardinality_constraints(task, model, blocks)
+    _add_consistency_constraints(task, model, blocks, aligned)
+    return ViewLP(relation=task.relation, model=model, blocks=blocks, strategy=strategy,
+                  aligned_attributes=aligned)
+
+
+def count_lp_variables(task: ViewTask, strategy: str = STRATEGY_REGION) -> int:
+    """Number of LP variables the strategy would create for this view,
+    computed without materialising grids (used for Figures 12 and 17)."""
+    if strategy == STRATEGY_GRID:
+        total = 0
+        for subview in task.subviews:
+            total += grid_cell_count(
+                subview.attributes, task.view.domains, task.constraints
+            )
+        return total
+    if strategy == STRATEGY_REGION:
+        variables, _aligned = _region_variables(task, DEFAULT_MAX_REGION_VARIABLES)
+        return sum(len(vars_) for vars_ in variables.values())
+    raise LPError(f"unknown partitioning strategy {strategy!r}")
+
+
+# ---------------------------------------------------------------------- #
+# variable construction
+# ---------------------------------------------------------------------- #
+def _region_variables(task: ViewTask, max_region_variables: int,
+                      ) -> Tuple[Dict[int, List[RefinedVariable]], Tuple[str, ...]]:
+    """Region-partition every sub-view and refine along shared attributes.
+
+    Returns the refined variables per sub-view and the tuple of shared
+    attributes that were actually refined (the *aligned* attributes).  When
+    the full refinement would exceed ``max_region_variables``, the most
+    expensive shared attributes are dropped from refinement one by one; the
+    alignment step later only groups on the attributes kept here, which keeps
+    both the LP and the merge consistent with each other.
+    """
+    shared = _shared_attributes(task)
+
+    def segments_for(active: Set[str], max_segments: Optional[int]) -> Dict[str, List]:
+        segments: Dict[str, List] = {}
+        for attribute in active:
+            in_scope = [
+                task.constraints[i]
+                for subview in task.subviews if attribute in subview.attributes
+                for i in subview.constraint_indices
+            ]
+            full = shared_segments_from_constraints(
+                attribute, task.view.domains[attribute], in_scope
+            )
+            segments[attribute] = _coarsen_segments(full, max_segments)
+        return segments
+
+    # Escalation ladder: exact shared segments first, then progressively
+    # coarser alignment granularities, then dropping alignment attributes.
+    granularities: List[Optional[int]] = [None, 12, 6, 3, 2]
+    active = set(shared)
+    attempt = 0
+    while True:
+        max_segments = granularities[min(attempt, len(granularities) - 1)]
+        if attempt >= len(granularities) and active:
+            # Past the coarsest granularity: drop the widest attribute.
+            segments_probe = segments_for(active, granularities[-1])
+            widest = max(active, key=lambda a: len(segments_probe[a]))
+            active.discard(widest)
+        segments = segments_for(active, max_segments)
+        out: Dict[int, List[RefinedVariable]] = {}
+        total = 0
+        over_budget = False
+        for index, subview in enumerate(task.subviews):
+            constraints = [task.constraints[i] for i in subview.constraint_indices]
+            try:
+                out[index] = partition_variables(
+                    subview.attributes, task.view.domains, constraints,
+                    subview.constraint_indices, segments,
+                    max_states=max_region_variables if active else None,
+                )
+            except PartitionBudgetError:
+                over_budget = True
+                break
+            total += len(out[index])
+        if not over_budget and (total <= max_region_variables or not active):
+            return out, tuple(sorted(active))
+        if not active:
+            return out, ()
+        attempt += 1
+
+
+def _coarsen_segments(segments: List, max_segments: Optional[int]) -> List:
+    """Merge adjacent elementary segments down to at most ``max_segments``
+    pieces (coarser alignment granularity, used when a view's LP would
+    otherwise exceed its variable budget)."""
+    if max_segments is None or len(segments) <= max_segments:
+        return segments
+    from repro.predicates.interval import Interval as _Interval
+
+    merged: List = []
+    per_group = len(segments) / max_segments
+    start = 0
+    for group in range(max_segments):
+        end = int(round((group + 1) * per_group))
+        end = max(end, start + 1)
+        end = min(end, len(segments))
+        merged.append(_Interval(segments[start].lo, segments[end - 1].hi))
+        start = end
+        if start >= len(segments):
+            break
+    return merged
+
+
+def _grid_variables(task: ViewTask,
+                    max_grid_variables: int) -> Dict[int, List[RefinedVariable]]:
+    """Grid-partition every sub-view (DataSynth).
+
+    The grid is intervalised from the constants of *all* view constraints, so
+    shared attributes are automatically aligned across sub-views and no
+    further refinement is needed.
+    """
+    total = 0
+    for subview in task.subviews:
+        total += grid_cell_count(subview.attributes, task.view.domains, task.constraints)
+    if total > max_grid_variables:
+        raise LPTooLargeError(
+            f"grid formulation of view {task.relation!r} needs {total} variables"
+            f" (limit {max_grid_variables})"
+        )
+
+    shared = _shared_attributes(task)
+    out: Dict[int, List[RefinedVariable]] = {}
+    for index, subview in enumerate(task.subviews):
+        intervals = grid_intervals(subview.attributes, task.view.domains, task.constraints)
+        cells: List[Dict[str, "object"]] = [{}]
+        for attribute in subview.attributes:
+            cells = [dict(cell, **{attribute: piece})
+                     for cell in cells for piece in intervals[attribute]]
+        segment_index = {
+            attribute: {iv.lo: i for i, iv in enumerate(intervals[attribute])}
+            for attribute in subview.attributes
+        }
+        variables: List[RefinedVariable] = []
+        for cell in cells:
+            box = Box(cell)  # type: ignore[arg-type]
+            label = frozenset(
+                i for i in subview.constraint_indices
+                if box.satisfies_predicate(task.constraints[i].predicate)
+            )
+            shared_cell = tuple(
+                (attribute, segment_index[attribute][box.interval(attribute).lo])
+                for attribute in subview.attributes if attribute in shared
+            )
+            variables.append(
+                RefinedVariable(label=label, boxes=[box], shared_cell=shared_cell)
+            )
+        out[index] = variables
+    return out
+
+
+def _shared_attributes(task: ViewTask) -> Set[str]:
+    """Attributes appearing in more than one sub-view of the view."""
+    counts: Dict[str, int] = defaultdict(int)
+    for subview in task.subviews:
+        for attribute in subview.attributes:
+            counts[attribute] += 1
+    return {attribute for attribute, count in counts.items() if count > 1}
+
+
+# ---------------------------------------------------------------------- #
+# constraint construction
+# ---------------------------------------------------------------------- #
+def _add_cardinality_constraints(task: ViewTask, model: LPModel,
+                                 blocks: Sequence[SubViewBlock]) -> None:
+    for block in blocks:
+        subview = task.subviews[block.subview_index]
+        for constraint_index in subview.constraint_indices:
+            constraint = task.constraints[constraint_index]
+            members = [
+                global_index
+                for global_index, variable in zip(block.variable_indices, block.variables)
+                if constraint_index in variable.label
+            ]
+            model.add_constraint(
+                members,
+                constraint.cardinality,
+                kind="cardinality",
+                tag=f"cc{constraint_index}@sv{block.subview_index}",
+            )
+
+
+def _add_consistency_constraints(task: ViewTask, model: LPModel,
+                                 blocks: Sequence[SubViewBlock],
+                                 aligned: Tuple[str, ...]) -> None:
+    aligned_set = set(aligned)
+    block_by_index = {block.subview_index: block for block in blocks}
+    for left_index, right_index in task.consistency_edges:
+        left = block_by_index[left_index]
+        right = block_by_index[right_index]
+        shared = tuple(sorted(
+            set(left.attributes) & set(right.attributes) & aligned_set
+        ))
+        if not shared:
+            continue
+        left_groups = _group_by_cell(left, shared)
+        right_groups = _group_by_cell(right, shared)
+        for cell in sorted(set(left_groups) | set(right_groups)):
+            left_vars = left_groups.get(cell, [])
+            right_vars = right_groups.get(cell, [])
+            variables = tuple(left_vars) + tuple(right_vars)
+            coefficients = tuple([1.0] * len(left_vars) + [-1.0] * len(right_vars))
+            model.add_constraint(
+                variables,
+                rhs=0,
+                coefficients=coefficients,
+                kind="consistency",
+                tag=f"consistency:sv{left_index}-sv{right_index}:{cell}",
+            )
+
+
+def _group_by_cell(block: SubViewBlock, shared: Sequence[str]) -> Dict[Tuple[int, ...], List[int]]:
+    groups: Dict[Tuple[int, ...], List[int]] = defaultdict(list)
+    for global_index, variable in zip(block.variable_indices, block.variables):
+        groups[variable.cell_of(shared)].append(global_index)
+    return dict(groups)

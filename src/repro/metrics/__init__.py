@@ -1,0 +1,39 @@
+"""Evaluation metrics: volumetric similarity, LP sizes, integrity accounting,
+timing utilities and the materialisation cost model."""
+
+from repro.metrics.costmodel import (
+    ThroughputModel,
+    format_duration,
+    materialization_table,
+    rows_for_target_bytes,
+)
+from repro.metrics.integrity import IntegrityComparison, compare_extra_tuples
+from repro.metrics.lpsize import LPSizeComparison, compare_lp_sizes
+from repro.metrics.similarity import (
+    ConstraintResult,
+    SimilarityReport,
+    SummaryViewResolver,
+    denormalized_view,
+    evaluate_on_database,
+    evaluate_on_summary,
+)
+from repro.metrics.timing import Timer, TimingLog
+
+__all__ = [
+    "ConstraintResult",
+    "SimilarityReport",
+    "SummaryViewResolver",
+    "denormalized_view",
+    "evaluate_on_database",
+    "evaluate_on_summary",
+    "LPSizeComparison",
+    "compare_lp_sizes",
+    "IntegrityComparison",
+    "compare_extra_tuples",
+    "ThroughputModel",
+    "materialization_table",
+    "rows_for_target_bytes",
+    "format_duration",
+    "Timer",
+    "TimingLog",
+]

@@ -1,0 +1,65 @@
+"""Small timing utilities shared by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.seconds = time.perf_counter() - self._start
+            self._start = None
+
+
+@dataclass
+class TimingLog:
+    """Accumulates named timings for multi-phase experiments."""
+
+    entries: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add (accumulate) a timing under ``name``."""
+        self.entries[name] = self.entries.get(name, 0.0) + seconds
+
+    def time(self, name: str) -> "_LogTimer":
+        """Return a context manager that records its duration under ``name``."""
+        return _LogTimer(self, name)
+
+    def total(self) -> float:
+        """Sum of all recorded timings."""
+        return sum(self.entries.values())
+
+
+class _LogTimer:
+    def __init__(self, log: TimingLog, name: str) -> None:
+        self._log = log
+        self._name = name
+        self._timer = Timer()
+
+    def __enter__(self) -> "Timer":
+        return self._timer.__enter__()
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.__exit__(*exc_info)
+        self._log.record(self._name, self._timer.seconds)

@@ -1,0 +1,40 @@
+"""Domain partitioning: region partitioning (Hydra) and grid partitioning
+(DataSynth), plus consistency refinement across sub-views."""
+
+from repro.partition.box import Box, conjunct_boxes, domain_box
+from repro.partition.consistency import (
+    RefinedVariable,
+    refine_regions,
+    shared_attribute_segments,
+)
+from repro.partition.grid import (
+    DEFAULT_MAX_CELLS,
+    grid_cell_count,
+    grid_intervals,
+    grid_partition,
+)
+from repro.partition.region import (
+    Region,
+    optimal_partition,
+    optimal_partition_paper,
+    region_count,
+    valid_partition,
+)
+
+__all__ = [
+    "Box",
+    "domain_box",
+    "conjunct_boxes",
+    "Region",
+    "optimal_partition",
+    "optimal_partition_paper",
+    "valid_partition",
+    "region_count",
+    "grid_cell_count",
+    "grid_intervals",
+    "grid_partition",
+    "DEFAULT_MAX_CELLS",
+    "RefinedVariable",
+    "refine_regions",
+    "shared_attribute_segments",
+]

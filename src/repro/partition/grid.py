@@ -1,0 +1,86 @@
+"""Grid partitioning (the DataSynth baseline strategy, Section 3.2).
+
+Grid partitioning intervalises the domain of every constrained attribute at
+the constants appearing in the CCs and takes the full cross product of the
+per-attribute intervals as the set of LP variables.  The number of cells
+grows as ``l^n`` and the paper reports that it routinely overwhelms the LP
+solver on complex workloads; :func:`grid_cell_count` therefore computes the
+count without materialising the cells, and :func:`grid_partition` refuses to
+materialise grids beyond a configurable limit (raising
+:class:`~repro.errors.LPTooLargeError`, the analogue of the solver crash
+reported in Section 7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import LPTooLargeError, PartitionError
+from repro.partition.box import Box
+from repro.predicates.interval import Interval, elementary_segments
+from repro.views.preprocess import ViewConstraint
+
+#: Default ceiling on the number of grid cells that will be materialised.
+DEFAULT_MAX_CELLS = 200_000
+
+
+def attribute_cut_points(attribute: str,
+                         constraints: Sequence[ViewConstraint]) -> List[int]:
+    """Collect the interval boundaries that the CCs impose on one attribute."""
+    points: set = set()
+    for constraint in constraints:
+        for conjunct in constraint.predicate.conjuncts:
+            restriction = conjunct.restriction(attribute)
+            if restriction is None:
+                continue
+            points.update(restriction.boundaries())
+    return sorted(points)
+
+
+def grid_intervals(attributes: Sequence[str], domains: Mapping[str, Interval],
+                   constraints: Sequence[ViewConstraint]) -> Dict[str, List[Interval]]:
+    """Intervalise every attribute's domain at the CC constants."""
+    out: Dict[str, List[Interval]] = {}
+    for attribute in attributes:
+        domain = domains[attribute]
+        cuts = attribute_cut_points(attribute, constraints)
+        out[attribute] = elementary_segments(domain, cuts)
+    return out
+
+
+def grid_cell_count(attributes: Sequence[str], domains: Mapping[str, Interval],
+                    constraints: Sequence[ViewConstraint]) -> int:
+    """Number of grid cells (LP variables) without materialising them."""
+    intervals = grid_intervals(attributes, domains, constraints)
+    count = 1
+    for attribute in attributes:
+        count *= len(intervals[attribute])
+    return count
+
+
+def grid_partition(attributes: Sequence[str], domains: Mapping[str, Interval],
+                   constraints: Sequence[ViewConstraint],
+                   max_cells: int = DEFAULT_MAX_CELLS) -> List[Box]:
+    """Materialise the grid cells as boxes.
+
+    Raises
+    ------
+    LPTooLargeError
+        When the number of cells exceeds ``max_cells`` — modelling the
+        behaviour where the DataSynth formulation cannot be handled by the
+        solver.
+    """
+    if not attributes:
+        raise PartitionError("sub-view must have at least one attribute")
+    count = grid_cell_count(attributes, domains, constraints)
+    if count > max_cells:
+        raise LPTooLargeError(
+            f"grid partitioning would create {count} cells"
+            f" (limit {max_cells}); the LP is too large to materialise"
+        )
+    intervals = grid_intervals(attributes, domains, constraints)
+    cells: List[Dict[str, Interval]] = [{}]
+    for attribute in attributes:
+        cells = [dict(cell, **{attribute: piece})
+                 for cell in cells for piece in intervals[attribute]]
+    return [Box(cell) for cell in cells]

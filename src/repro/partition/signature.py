@@ -1,0 +1,197 @@
+"""Signature-based region partitioning.
+
+:func:`repro.partition.region.optimal_partition` manipulates explicit box
+geometry, which is ideal for auditing the algorithm against the paper but
+becomes expensive when a sub-view has many attributes and many overlapping
+constraints.  This module computes the very same set of LP variables — one
+per distinct (constraint-satisfaction label, shared-attribute cell) pair with
+non-empty extent — using a per-dimension dynamic programme over *elementary
+segments*:
+
+1. every attribute's domain is cut at the constants of the in-scope
+   constraints (and at the shared-attribute boundaries used for consistency),
+2. each segment gets a bitmask recording which sub-constraints (conjuncts) it
+   satisfies along that attribute,
+3. a sweep over the attributes intersects the bitmasks, merging states that
+   have become indistinguishable, so the running state count never exceeds
+   the number of distinct final variables.
+
+The result carries a representative elementary cell per variable, which is
+all the summary generator needs (value instantiation uses the cell corner and
+alignment uses the shared-cell position).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import PartitionBudgetError, PartitionError
+from repro.partition.box import Box
+from repro.partition.consistency import RefinedVariable
+from repro.predicates.interval import Interval, IntervalSet, elementary_segments
+from repro.views.preprocess import ViewConstraint
+
+
+def partition_variables(attributes: Sequence[str], domains: Mapping[str, Interval],
+                        constraints: Sequence[ViewConstraint],
+                        constraint_indices: Sequence[int],
+                        shared_segments: Mapping[str, List[Interval]],
+                        max_states: Optional[int] = None,
+                        ) -> List[RefinedVariable]:
+    """Build the LP variables of one sub-view.
+
+    Parameters
+    ----------
+    attributes:
+        The sub-view's attributes.
+    domains:
+        Domain interval per attribute.
+    constraints / constraint_indices:
+        The view constraints within the sub-view's scope and their view-level
+        indices (used as labels).
+    shared_segments:
+        Elementary segments per shared attribute (attributes shared with
+        other sub-views); variables are refined so that each projects into a
+        single segment of every shared attribute, which is what the
+        consistency constraints and the alignment step require.
+    max_states:
+        Optional abort threshold: when the sweep's running state count
+        exceeds it, :class:`~repro.errors.PartitionBudgetError` is raised so
+        the caller can retry with a coarser shared-attribute refinement
+        instead of paying for an oversized partition.
+
+    Returns
+    -------
+    list[RefinedVariable]
+        One variable per distinct (label, shared-cell) combination, each with
+        a single representative elementary box.
+    """
+    if not attributes:
+        raise PartitionError("sub-view must have at least one attribute")
+    if len(constraints) != len(constraint_indices):
+        raise PartitionError("constraint_indices must match constraints")
+
+    # ------------------------------------------------------------------ #
+    # collect conjuncts; always-true constraints hold everywhere
+    # ------------------------------------------------------------------ #
+    conjuncts: List[Tuple[int, "object"]] = []   # (position, Conjunct)
+    conjunct_owner: List[int] = []               # constraint position per conjunct
+    always_true: Set[int] = set()
+    for position, constraint in enumerate(constraints):
+        if constraint.predicate.is_true:
+            always_true.add(position)
+            continue
+        for conjunct in constraint.predicate.conjuncts:
+            conjuncts.append((len(conjuncts), conjunct))
+            conjunct_owner.append(position)
+    num_conjuncts = len(conjuncts)
+    full_mask = (1 << num_conjuncts) - 1 if num_conjuncts else 0
+
+    # ------------------------------------------------------------------ #
+    # per-attribute segments and their conjunct-satisfaction masks
+    # ------------------------------------------------------------------ #
+    per_attribute: List[Tuple[str, List[Tuple[Interval, int, Optional[int]]]]] = []
+    for attribute in attributes:
+        domain = domains[attribute]
+        cuts: Set[int] = set()
+        for _, conjunct in conjuncts:
+            restriction = conjunct.restriction(attribute)
+            if restriction is not None:
+                cuts.update(restriction.boundaries())
+        shared = shared_segments.get(attribute)
+        if shared is not None:
+            for segment in shared:
+                cuts.add(segment.lo)
+                cuts.add(segment.hi)
+        segments = elementary_segments(domain, sorted(cuts))
+
+        annotated: List[Tuple[Interval, int, Optional[int]]] = []
+        for segment in segments:
+            mask = 0
+            for bit, (_, conjunct) in enumerate(conjuncts):
+                restriction = conjunct.restriction(attribute)
+                if restriction is None or restriction.covers(segment):
+                    mask |= 1 << bit
+            cell = _locate_cell(segment, shared) if shared is not None else None
+            annotated.append((segment, mask, cell))
+        per_attribute.append((attribute, annotated))
+
+    # ------------------------------------------------------------------ #
+    # dimension-by-dimension sweep with state merging
+    # ------------------------------------------------------------------ #
+    # state key: (conjunct mask, shared-cell assignments so far)
+    # state value: representative segment per processed attribute
+    states: Dict[Tuple[int, Tuple[Tuple[str, int], ...]], Dict[str, Interval]] = {
+        (full_mask, ()): {}
+    }
+    for attribute, annotated in per_attribute:
+        next_states: Dict[Tuple[int, Tuple[Tuple[str, int], ...]], Dict[str, Interval]] = {}
+        for (mask, cells), representative in states.items():
+            for segment, segment_mask, cell in annotated:
+                new_mask = mask & segment_mask
+                new_cells = cells + (((attribute, cell),) if cell is not None else ())
+                key = (new_mask, new_cells)
+                if key in next_states:
+                    continue
+                extended = dict(representative)
+                extended[attribute] = segment
+                next_states[key] = extended
+                if max_states is not None and len(next_states) > max_states:
+                    raise PartitionBudgetError(
+                        f"partitioning exceeded {max_states} states while processing"
+                        f" attribute {attribute!r}"
+                    )
+        states = next_states
+
+    # ------------------------------------------------------------------ #
+    # convert states to variables, merging states with equal labels
+    # ------------------------------------------------------------------ #
+    variables: Dict[Tuple[FrozenSet[int], Tuple[Tuple[str, int], ...]], Dict[str, Interval]] = {}
+    for (mask, cells), representative in states.items():
+        satisfied: Set[int] = set(always_true)
+        for bit, owner in enumerate(conjunct_owner):
+            if mask & (1 << bit):
+                satisfied.add(owner)
+        label = frozenset(constraint_indices[p] for p in satisfied)
+        key = (label, cells)
+        if key not in variables:
+            variables[key] = representative
+
+    out = [
+        RefinedVariable(label=label, boxes=[Box(representative)], shared_cell=cells)
+        for (label, cells), representative in variables.items()
+    ]
+    out.sort(key=lambda v: (sorted(v.label), v.shared_cell))
+    return out
+
+
+def count_partition_variables(attributes: Sequence[str], domains: Mapping[str, Interval],
+                              constraints: Sequence[ViewConstraint],
+                              constraint_indices: Sequence[int],
+                              shared_segments: Mapping[str, List[Interval]]) -> int:
+    """Number of variables :func:`partition_variables` would produce."""
+    return len(partition_variables(attributes, domains, constraints,
+                                   constraint_indices, shared_segments))
+
+
+def shared_segments_from_constraints(attribute: str, domain: Interval,
+                                     constraints: Sequence[ViewConstraint],
+                                     ) -> List[Interval]:
+    """Elementary segments of ``attribute`` induced by the constants of the
+    given constraints (the granularity needed for consistency/alignment)."""
+    cuts: Set[int] = set()
+    for constraint in constraints:
+        for conjunct in constraint.predicate.conjuncts:
+            restriction = conjunct.restriction(attribute)
+            if restriction is not None:
+                cuts.update(restriction.boundaries())
+    return elementary_segments(domain, sorted(cuts))
+
+
+def _locate_cell(segment: Interval, shared: Sequence[Interval]) -> int:
+    for index, cell in enumerate(shared):
+        if cell.lo <= segment.lo and segment.hi <= cell.hi:
+            return index
+    raise PartitionError(
+        f"segment {segment!r} does not fit inside any shared elementary segment"
+    )

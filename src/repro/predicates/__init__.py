@@ -1,0 +1,18 @@
+"""Predicate algebra: intervals, conjuncts and DNF predicates."""
+
+from repro.predicates.conjunct import Conjunct, box_overlaps, box_satisfies
+from repro.predicates.dnf import DNFPredicate, and_, col, or_
+from repro.predicates.interval import Interval, IntervalSet, elementary_segments
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "elementary_segments",
+    "Conjunct",
+    "box_satisfies",
+    "box_overlaps",
+    "DNFPredicate",
+    "col",
+    "and_",
+    "or_",
+]

@@ -1,0 +1,205 @@
+"""Disjunctive-normal-form predicates.
+
+The paper assumes every filter predicate appearing in a cardinality
+constraint is in DNF (Section 4.1): a disjunction of conjuncts, where each
+conjunct is a conjunction of per-attribute interval constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import PredicateError
+from repro.predicates.conjunct import Conjunct
+from repro.predicates.interval import IntervalSet
+
+
+class DNFPredicate:
+    """A predicate in disjunctive normal form (an OR of :class:`Conjunct`).
+
+    The always-true predicate is represented by a single true conjunct; the
+    always-false predicate by an empty list of conjuncts.
+    """
+
+    __slots__ = ("_conjuncts",)
+
+    def __init__(self, conjuncts: Iterable[Conjunct] = ()) -> None:
+        items = tuple(conjuncts)
+        for c in items:
+            if not isinstance(c, Conjunct):
+                raise PredicateError(f"expected Conjunct, got {type(c)!r}")
+        self._conjuncts: Tuple[Conjunct, ...] = items
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def true(cls) -> "DNFPredicate":
+        """Return the always-true predicate."""
+        return cls((Conjunct.true(),))
+
+    @classmethod
+    def false(cls) -> "DNFPredicate":
+        """Return the always-false predicate."""
+        return cls(())
+
+    @classmethod
+    def of(cls, *conjuncts: Conjunct) -> "DNFPredicate":
+        """Return the disjunction of the given conjuncts."""
+        return cls(conjuncts)
+
+    @classmethod
+    def from_range(cls, attribute: str, lo: int, hi: int) -> "DNFPredicate":
+        """Return the single-range predicate ``lo <= attribute < hi``."""
+        return cls((Conjunct.from_range(attribute, lo, hi),))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def conjuncts(self) -> Tuple[Conjunct, ...]:
+        """The conjuncts (sub-constraints) of the predicate."""
+        return self._conjuncts
+
+    @property
+    def is_true(self) -> bool:
+        """``True`` if some conjunct is unconditionally true."""
+        return any(c.is_true for c in self._conjuncts)
+
+    @property
+    def is_false(self) -> bool:
+        """``True`` when the predicate has no satisfiable conjunct."""
+        return all(c.is_unsatisfiable for c in self._conjuncts) or not self._conjuncts
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """All attributes mentioned anywhere in the predicate, sorted."""
+        names = set()
+        for c in self._conjuncts:
+            names.update(c.attributes)
+        return tuple(sorted(names))
+
+    def evaluate(self, row: Mapping[str, int]) -> bool:
+        """Return ``True`` if ``row`` satisfies at least one conjunct."""
+        return any(c.evaluate(row) for c in self._conjuncts)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def disjoin(self, other: "DNFPredicate") -> "DNFPredicate":
+        """Return the OR of the two predicates."""
+        return DNFPredicate(self._conjuncts + other._conjuncts)
+
+    def conjoin(self, other: "DNFPredicate") -> "DNFPredicate":
+        """Return the AND of the two predicates (distributed back to DNF)."""
+        if self.is_true:
+            return other
+        if other.is_true:
+            return self
+        out: List[Conjunct] = []
+        for a in self._conjuncts:
+            for b in other._conjuncts:
+                combined = a.conjoin(b)
+                if not combined.is_unsatisfiable:
+                    out.append(combined)
+        return DNFPredicate(out)
+
+    def rename(self, mapping: Mapping[str, str]) -> "DNFPredicate":
+        """Return a copy with attribute names rewritten via ``mapping``."""
+        return DNFPredicate(tuple(c.rename(mapping) for c in self._conjuncts))
+
+    def project(self, attributes: Iterable[str]) -> "DNFPredicate":
+        """Return the predicate restricted to the given attributes."""
+        keep = tuple(attributes)
+        return DNFPredicate(tuple(c.project(keep) for c in self._conjuncts))
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DNFPredicate):
+            return NotImplemented
+        return self._conjuncts == other._conjuncts
+
+    def __hash__(self) -> int:
+        return hash(self._conjuncts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._conjuncts:
+            return "DNFPredicate(FALSE)"
+        return "DNFPredicate(" + " OR ".join(repr(c) for c in self._conjuncts) + ")"
+
+
+# ---------------------------------------------------------------------- #
+# small builder DSL
+# ---------------------------------------------------------------------- #
+class col:
+    """Tiny builder for per-attribute constraints used by tests and examples.
+
+    Examples
+    --------
+    >>> (col("age") < 40).attributes
+    ('age',)
+    >>> pred = (col("age").between(20, 60)) & (col("salary") < 60000)
+    """
+
+    # A very large sentinel standing in for "unbounded"; attribute domains in
+    # this library are always finite so predicates get clipped to the domain
+    # during partitioning anyway.
+    UNBOUNDED = 2**62
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __lt__(self, value: int) -> DNFPredicate:
+        return DNFPredicate.of(
+            Conjunct({self.name: IntervalSet.single(-self.UNBOUNDED, value)})
+        )
+
+    def __le__(self, value: int) -> DNFPredicate:
+        return DNFPredicate.of(
+            Conjunct({self.name: IntervalSet.single(-self.UNBOUNDED, value + 1)})
+        )
+
+    def __ge__(self, value: int) -> DNFPredicate:
+        return DNFPredicate.of(
+            Conjunct({self.name: IntervalSet.single(value, self.UNBOUNDED)})
+        )
+
+    def __gt__(self, value: int) -> DNFPredicate:
+        return DNFPredicate.of(
+            Conjunct({self.name: IntervalSet.single(value + 1, self.UNBOUNDED)})
+        )
+
+    def __eq__(self, value: object) -> DNFPredicate:  # type: ignore[override]
+        if not isinstance(value, int):
+            raise PredicateError("equality predicates require an integer constant")
+        return DNFPredicate.of(Conjunct({self.name: IntervalSet.point(value)}))
+
+    def __hash__(self) -> int:  # keep hashable despite overriding __eq__
+        return hash(self.name)
+
+    def between(self, lo: int, hi: int) -> DNFPredicate:
+        """Return the half-open range predicate ``lo <= attr < hi``."""
+        return DNFPredicate.from_range(self.name, lo, hi)
+
+    def isin(self, values: Sequence[int]) -> DNFPredicate:
+        """Return the membership predicate ``attr IN values``."""
+        sets = IntervalSet(tuple(IntervalSet.point(v).intervals[0] for v in values))
+        return DNFPredicate.of(Conjunct({self.name: sets}))
+
+
+def and_(*predicates: DNFPredicate) -> DNFPredicate:
+    """Return the conjunction of several DNF predicates."""
+    out = DNFPredicate.true()
+    for p in predicates:
+        out = out.conjoin(p)
+    return out
+
+
+def or_(*predicates: DNFPredicate) -> DNFPredicate:
+    """Return the disjunction of several DNF predicates."""
+    out = DNFPredicate.false()
+    for p in predicates:
+        out = out.disjoin(p)
+    return out

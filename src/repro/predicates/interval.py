@@ -1,0 +1,251 @@
+"""Half-open integer intervals and unions of intervals.
+
+The anonymizer described in the paper (Section 3.1) maps all client values to
+integers, so every attribute domain in this library is an integer interval
+``[lo, hi)`` and every per-attribute predicate is a union of such intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PredicateError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open integer interval ``[lo, hi)``.
+
+    The interval contains all integers ``v`` with ``lo <= v < hi``.  Empty
+    intervals (``hi <= lo``) are rejected at construction time; use
+    :data:`None` or an empty :class:`IntervalSet` to represent emptiness.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise PredicateError(f"empty interval [{self.lo}, {self.hi})")
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def width(self) -> int:
+        """Number of integer points contained in the interval."""
+        return self.hi - self.lo
+
+    def contains(self, value: int) -> bool:
+        """Return ``True`` if ``value`` lies inside the interval."""
+        return self.lo <= value < self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Return ``True`` if ``other`` is fully contained in this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return ``True`` if the two intervals share at least one point."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    # ------------------------------------------------------------------ #
+    # set operations
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """Return the intersection interval, or ``None`` when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi <= lo:
+            return None
+        return Interval(lo, hi)
+
+    def subtract(self, other: "Interval") -> List["Interval"]:
+        """Return the parts of this interval not covered by ``other``."""
+        pieces: List[Interval] = []
+        if other.lo > self.lo:
+            hi = min(self.hi, other.lo)
+            if hi > self.lo:
+                pieces.append(Interval(self.lo, hi))
+        if other.hi < self.hi:
+            lo = max(self.lo, other.hi)
+            if lo < self.hi:
+                pieces.append(Interval(lo, self.hi))
+        if not other.overlaps(self):
+            return [self]
+        return pieces
+
+    def split_at(self, points: Iterable[int]) -> List["Interval"]:
+        """Split the interval at every point in ``points`` that falls strictly
+        inside it, returning contiguous pieces in ascending order."""
+        cuts = sorted({p for p in points if self.lo < p < self.hi})
+        pieces: List[Interval] = []
+        lo = self.lo
+        for p in cuts:
+            pieces.append(Interval(lo, p))
+            lo = p
+        pieces.append(Interval(lo, self.hi))
+        return pieces
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.lo}, {self.hi})"
+
+
+class IntervalSet:
+    """An immutable union of disjoint, sorted half-open intervals.
+
+    This is the canonical representation of a per-attribute predicate such as
+    ``20 <= A < 60`` (one interval) or ``A < 10 OR A >= 90`` (two intervals).
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals: Tuple[Interval, ...] = tuple(_normalize(intervals))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """Return the empty set of values."""
+        return cls(())
+
+    @classmethod
+    def single(cls, lo: int, hi: int) -> "IntervalSet":
+        """Return the set containing the single interval ``[lo, hi)``."""
+        return cls((Interval(lo, hi),))
+
+    @classmethod
+    def point(cls, value: int) -> "IntervalSet":
+        """Return the set containing exactly ``value``."""
+        return cls((Interval(value, value + 1),))
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The disjoint intervals making up the set, in ascending order."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        """Return ``True`` when the set contains no value."""
+        return not self._intervals
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    @property
+    def width(self) -> int:
+        """Total number of integer points contained in the set."""
+        return sum(iv.width for iv in self._intervals)
+
+    def contains(self, value: int) -> bool:
+        """Return ``True`` if ``value`` is a member of the set."""
+        return any(iv.contains(value) for iv in self._intervals)
+
+    def covers(self, interval: Interval) -> bool:
+        """Return ``True`` if ``interval`` is fully contained in the set."""
+        return any(iv.contains_interval(interval) for iv in self._intervals)
+
+    def overlaps(self, interval: Interval) -> bool:
+        """Return ``True`` if the set shares at least one point with
+        ``interval``."""
+        return any(iv.overlaps(interval) for iv in self._intervals)
+
+    def boundaries(self) -> List[int]:
+        """Return all interval endpoints, useful as grid split points."""
+        points: List[int] = []
+        for iv in self._intervals:
+            points.append(iv.lo)
+            points.append(iv.hi)
+        return points
+
+    # ------------------------------------------------------------------ #
+    # set algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Return the union of the two sets."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        """Return the intersection of the two sets."""
+        out: List[Interval] = []
+        for a in self._intervals:
+            for b in other._intervals:
+                cap = a.intersect(b)
+                if cap is not None:
+                    out.append(cap)
+        return IntervalSet(out)
+
+    def intersect_interval(self, interval: Interval) -> "IntervalSet":
+        """Return the intersection of the set with a single interval."""
+        out = []
+        for a in self._intervals:
+            cap = a.intersect(interval)
+            if cap is not None:
+                out.append(cap)
+        return IntervalSet(out)
+
+    def complement(self, domain: Interval) -> "IntervalSet":
+        """Return ``domain`` minus this set."""
+        remaining = [domain]
+        for iv in self._intervals:
+            next_remaining: List[Interval] = []
+            for piece in remaining:
+                next_remaining.extend(piece.subtract(iv))
+            remaining = next_remaining
+        return IntervalSet(remaining)
+
+    def minimum(self) -> int:
+        """Return the smallest value contained in the set."""
+        if self.is_empty:
+            raise PredicateError("empty interval set has no minimum")
+        return self._intervals[0].lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = " U ".join(repr(iv) for iv in self._intervals)
+        return f"IntervalSet({body or 'empty'})"
+
+
+def _normalize(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort and merge overlapping/adjacent intervals."""
+    ordered = sorted(intervals, key=lambda iv: (iv.lo, iv.hi))
+    merged: List[Interval] = []
+    for iv in ordered:
+        if merged and iv.lo <= merged[-1].hi:
+            last = merged[-1]
+            if iv.hi > last.hi:
+                merged[-1] = Interval(last.lo, iv.hi)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def elementary_segments(domain: Interval, points: Sequence[int]) -> List[Interval]:
+    """Partition ``domain`` into contiguous segments at the given cut points.
+
+    Only points strictly inside the domain introduce a cut; the result always
+    covers the whole domain.  This is the "intervalisation" primitive used by
+    both grid partitioning and consistency refinement.
+    """
+    return domain.split_at(points)

@@ -1,0 +1,6 @@
+"""Relational schema model (relations, attributes, keys, dependency graph)."""
+
+from repro.schema.relation import Attribute, ForeignKey, Relation
+from repro.schema.schema import Schema
+
+__all__ = ["Attribute", "ForeignKey", "Relation", "Schema"]

@@ -1,0 +1,15 @@
+"""Tuple generation from database summaries (dynamic and materialised)."""
+
+from repro.tuplegen.generator import (
+    DEFAULT_BATCH_SIZE,
+    TupleGenerator,
+    dynamic_database,
+    materialize_database,
+)
+
+__all__ = [
+    "TupleGenerator",
+    "materialize_database",
+    "dynamic_database",
+    "DEFAULT_BATCH_SIZE",
+]

@@ -1,0 +1,137 @@
+"""The Tuple Generator (Section 6).
+
+The tuple generator turns a :class:`~repro.summary.RelationSummary` into
+actual rows.  Primary keys are row numbers; to produce the ``r``-th tuple the
+generator locates the summary row whose cumulative ``NumTuples`` first
+reaches ``r`` and copies its value combination.  Three access paths are
+provided:
+
+* :meth:`TupleGenerator.row` — random access to a single tuple,
+* :meth:`TupleGenerator.stream` — streaming generation in batches (the
+  on-demand scan used inside the engine instead of reading from disk),
+* :meth:`TupleGenerator.materialize` — build the full columnar table.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.errors import GenerationError
+from repro.schema.schema import Schema
+from repro.summary.relation_summary import DatabaseSummary, RelationSummary
+
+#: Default number of tuples produced per streamed batch.
+DEFAULT_BATCH_SIZE = 65_536
+
+
+class TupleGenerator:
+    """Generates tuples of one relation from its summary."""
+
+    def __init__(self, summary: RelationSummary) -> None:
+        self.summary = summary
+        self._prefix = summary.prefix_counts()
+        self._total = self._prefix[-1] if self._prefix else 0
+
+    # ------------------------------------------------------------------ #
+    # random access
+    # ------------------------------------------------------------------ #
+    @property
+    def total_rows(self) -> int:
+        """Number of tuples the relation expands to."""
+        return self._total
+
+    def row(self, r: int) -> Dict[str, int]:
+        """Return the ``r``-th tuple (1-based), including its primary key."""
+        if not 1 <= r <= self._total:
+            raise GenerationError(
+                f"row number {r} out of range 1..{self._total} for {self.summary.relation!r}"
+            )
+        position = bisect_left(self._prefix, r)
+        values, _count = self.summary.rows[position]
+        out = {self.summary.primary_key: r}
+        out.update({column: value for column, value in zip(self.summary.columns, values)})
+        return out
+
+    # ------------------------------------------------------------------ #
+    # streaming generation
+    # ------------------------------------------------------------------ #
+    def stream(self, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Table]:
+        """Yield the relation as a sequence of columnar batches.
+
+        This is the engine-facing access path: the executor consumes batches
+        as they are produced instead of reading a materialised relation.
+        """
+        if batch_size <= 0:
+            raise GenerationError("batch size must be positive")
+        columns = (self.summary.primary_key,) + self.summary.columns
+        start_pk = 1
+        row_index = 0
+        consumed_in_row = 0
+        while start_pk <= self._total:
+            size = min(batch_size, self._total - start_pk + 1)
+            batch = {c: np.empty(size, dtype=np.int64) for c in columns}
+            batch[self.summary.primary_key] = np.arange(
+                start_pk, start_pk + size, dtype=np.int64
+            )
+            filled = 0
+            while filled < size:
+                values, count = self.summary.rows[row_index]
+                available = count - consumed_in_row
+                take = min(available, size - filled)
+                for column, value in zip(self.summary.columns, values):
+                    batch[column][filled:filled + take] = value
+                filled += take
+                consumed_in_row += take
+                if consumed_in_row == count:
+                    row_index += 1
+                    consumed_in_row = 0
+            yield Table(batch, name=self.summary.relation)
+            start_pk += size
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> Table:
+        """Materialise the full relation as a columnar table."""
+        counts = np.array([count for _, count in self.summary.rows], dtype=np.int64)
+        columns: Dict[str, np.ndarray] = {
+            self.summary.primary_key: np.arange(1, self._total + 1, dtype=np.int64)
+        }
+        if len(self.summary.rows):
+            matrix = np.array([values for values, _ in self.summary.rows], dtype=np.int64)
+            for i, column in enumerate(self.summary.columns):
+                columns[column] = np.repeat(matrix[:, i], counts)
+        else:
+            for column in self.summary.columns:
+                columns[column] = np.empty(0, dtype=np.int64)
+        return Table(columns, name=self.summary.relation)
+
+
+# ---------------------------------------------------------------------- #
+# database-level helpers
+# ---------------------------------------------------------------------- #
+def materialize_database(summary: DatabaseSummary, schema: Schema,
+                         name: str = "synthetic") -> Database:
+    """Materialise every relation of a database summary into a
+    :class:`~repro.engine.database.Database`."""
+    database = Database(schema, name=name)
+    for relation, relation_summary in summary.relations.items():
+        database.attach(relation, TupleGenerator(relation_summary).materialize())
+    return database
+
+
+def dynamic_database(summary: DatabaseSummary, schema: Schema,
+                     name: str = "synthetic-dynamic") -> Database:
+    """Build a database whose relations are generated on demand (the
+    ``datagen`` mode of Section 6): nothing is materialised until a relation
+    is first scanned by the executor."""
+    database = Database(schema, name=name)
+    for relation, relation_summary in summary.relations.items():
+        generator = TupleGenerator(relation_summary)
+        database.attach_dynamic(relation, generator.materialize)
+    return database

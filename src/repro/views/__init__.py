@@ -1,0 +1,14 @@
+"""View construction and CC rewriting (the DataSynth preprocessor reused by
+Hydra)."""
+
+from repro.views.preprocess import Preprocessor, SubView, ViewConstraint, ViewTask
+from repro.views.viewdef import ViewDefinition, ViewSet
+
+__all__ = [
+    "ViewDefinition",
+    "ViewSet",
+    "Preprocessor",
+    "ViewConstraint",
+    "SubView",
+    "ViewTask",
+]

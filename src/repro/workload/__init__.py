@@ -1,0 +1,6 @@
+"""Query and workload model plus random workload generation."""
+
+from repro.workload.generator import WorkloadGenerator, WorkloadProfile
+from repro.workload.query import Query, Workload
+
+__all__ = ["Query", "Workload", "WorkloadGenerator", "WorkloadProfile"]

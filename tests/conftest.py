@@ -1,0 +1,148 @@
+"""Shared fixtures: the paper's toy schema (Figure 1), the Person example of
+Figures 3/4, and a small TPC-DS-like client environment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchdata.datagen import generate_database
+from repro.benchdata.tpcds import simple_workload, tpcds_schema
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.hydra.client import extract_constraints
+from repro.predicates.interval import Interval
+from repro.schema.relation import Attribute, ForeignKey, Relation
+from repro.schema.schema import Schema
+from repro.views.preprocess import ViewConstraint
+from repro.predicates.dnf import DNFPredicate
+from repro.predicates.conjunct import Conjunct
+from repro.predicates.interval import IntervalSet
+
+
+# ---------------------------------------------------------------------- #
+# Figure 1 toy scenario: R(R_pk, S_fk, T_fk), S(S_pk, A, B), T(T_pk, C)
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def toy_schema() -> Schema:
+    """The R/S/T schema of the paper's Figure 1(a)."""
+    return Schema(
+        [
+            Relation(
+                name="S", primary_key="S_pk", row_count=700,
+                attributes=[
+                    Attribute("A", Interval(0, 100)),
+                    Attribute("B", Interval(0, 50)),
+                ],
+            ),
+            Relation(
+                name="T", primary_key="T_pk", row_count=1500,
+                attributes=[Attribute("C", Interval(0, 10))],
+            ),
+            Relation(
+                name="R", primary_key="R_pk", row_count=80_000,
+                foreign_keys=[
+                    ForeignKey(column="S_fk", target="S"),
+                    ForeignKey(column="T_fk", target="T"),
+                ],
+                attributes=[],
+            ),
+        ],
+        name="toy",
+    )
+
+
+@pytest.fixture
+def toy_database(toy_schema: Schema) -> Database:
+    """A concrete instance of the toy schema engineered so that the query of
+    Figure 1(b) produces exactly the annotated cardinalities of Figure 1(c)."""
+    rng = np.random.default_rng(42)
+
+    # S: 700 rows, 400 of which have A in [20, 60).
+    s_a = np.concatenate([
+        rng.integers(20, 60, size=400),
+        rng.integers(60, 100, size=300),
+    ]).astype(np.int64)
+    s_b = rng.integers(0, 50, size=700).astype(np.int64)
+    s_table = Table({"S_pk": np.arange(1, 701), "A": s_a, "B": s_b}, name="S")
+
+    # T: 1500 rows, 900 of which have C in [2, 3).
+    t_c = np.concatenate([
+        np.full(900, 2), rng.integers(3, 10, size=600)
+    ]).astype(np.int64)
+    t_table = Table({"T_pk": np.arange(1, 1501), "C": t_c}, name="T")
+
+    # R: 80000 rows.  50000 reference S rows with A in [20,60); of those,
+    # 30000 also reference T rows with C in [2,3).  The remaining rows
+    # reference the "non-qualifying" halves so the plan cardinalities are
+    # exactly 50000 and 30000.
+    s_fk = np.concatenate([
+        rng.integers(1, 401, size=50_000),      # join survivors of sigma(S)
+        rng.integers(401, 701, size=30_000),    # filtered out at the S join
+    ]).astype(np.int64)
+    t_fk = np.concatenate([
+        rng.integers(1, 901, size=30_000),      # survive sigma(T) as well
+        rng.integers(901, 1501, size=20_000),   # dropped at the T join
+        rng.integers(1, 1501, size=30_000),     # already dropped earlier
+    ]).astype(np.int64)
+    r_table = Table(
+        {"R_pk": np.arange(1, 80_001), "S_fk": s_fk, "T_fk": t_fk}, name="R"
+    )
+
+    database = Database(toy_schema, name="toy-client")
+    database.attach("S", s_table)
+    database.attach("T", t_table)
+    database.attach("R", r_table)
+    return database
+
+
+# ---------------------------------------------------------------------- #
+# Person example (Figures 3 and 4)
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def person_domains():
+    """Domains of the Person view's two attributes."""
+    return {"age": Interval(0, 100), "salary": Interval(0, 100_000)}
+
+
+@pytest.fixture
+def person_constraints():
+    """The three CCs of the Person example (Section 3.2)."""
+    c1 = ViewConstraint(
+        predicate=DNFPredicate.of(Conjunct({
+            "age": IntervalSet.single(0, 40),
+            "salary": IntervalSet.single(0, 40_000),
+        })),
+        cardinality=1000,
+    )
+    c2 = ViewConstraint(
+        predicate=DNFPredicate.of(Conjunct({
+            "age": IntervalSet.single(20, 60),
+            "salary": IntervalSet.single(20_000, 60_000),
+        })),
+        cardinality=2000,
+    )
+    c3 = ViewConstraint(predicate=DNFPredicate.true(), cardinality=8000)
+    return [c1, c2, c3]
+
+
+# ---------------------------------------------------------------------- #
+# small TPC-DS-like client environment
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def small_tpcds_schema() -> Schema:
+    """A tiny TPC-DS-like schema usable for end-to-end tests."""
+    return tpcds_schema(scale_factor=0.0002)
+
+
+@pytest.fixture(scope="session")
+def small_tpcds_database(small_tpcds_schema: Schema) -> Database:
+    """A materialised client instance of the tiny schema."""
+    return generate_database(small_tpcds_schema, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_tpcds_constraints(small_tpcds_schema, small_tpcds_database):
+    """CCs extracted from a small simple workload on the tiny instance."""
+    workload = simple_workload(small_tpcds_schema, num_queries=25, seed=3)
+    return extract_constraints(small_tpcds_database, workload).constraints

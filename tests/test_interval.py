@@ -1,0 +1,167 @@
+"""Unit and property tests for intervals and interval sets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PredicateError
+from repro.predicates.interval import Interval, IntervalSet, elementary_segments
+
+
+# ---------------------------------------------------------------------- #
+# Interval
+# ---------------------------------------------------------------------- #
+class TestInterval:
+    def test_width_and_contains(self):
+        iv = Interval(3, 8)
+        assert iv.width == 5
+        assert len(iv) == 5
+        assert iv.contains(3)
+        assert iv.contains(7)
+        assert not iv.contains(8)
+        assert not iv.contains(2)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(PredicateError):
+            Interval(5, 5)
+        with pytest.raises(PredicateError):
+            Interval(6, 5)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(3, 7))
+        assert not Interval(0, 10).contains_interval(Interval(3, 12))
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 9))
+        assert not Interval(0, 5).overlaps(Interval(5, 9))
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 3).intersect(Interval(3, 9)) is None
+
+    def test_subtract_middle(self):
+        pieces = Interval(0, 10).subtract(Interval(3, 7))
+        assert pieces == [Interval(0, 3), Interval(7, 10)]
+
+    def test_subtract_disjoint(self):
+        assert Interval(0, 5).subtract(Interval(7, 9)) == [Interval(0, 5)]
+
+    def test_subtract_covering(self):
+        assert Interval(3, 5).subtract(Interval(0, 10)) == []
+
+    def test_split_at(self):
+        pieces = Interval(0, 10).split_at([3, 7, 0, 10, 15])
+        assert pieces == [Interval(0, 3), Interval(3, 7), Interval(7, 10)]
+
+    def test_split_at_no_points(self):
+        assert Interval(0, 10).split_at([]) == [Interval(0, 10)]
+
+
+# ---------------------------------------------------------------------- #
+# IntervalSet
+# ---------------------------------------------------------------------- #
+class TestIntervalSet:
+    def test_normalisation_merges_overlaps(self):
+        s = IntervalSet([Interval(5, 10), Interval(0, 6)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_normalisation_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 5), Interval(5, 10)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_point_and_contains(self):
+        s = IntervalSet.point(4)
+        assert s.contains(4)
+        assert not s.contains(5)
+        assert s.width == 1
+
+    def test_union_intersect(self):
+        a = IntervalSet.single(0, 10)
+        b = IntervalSet.single(5, 15)
+        assert a.union(b).intervals == (Interval(0, 15),)
+        assert a.intersect(b).intervals == (Interval(5, 10),)
+
+    def test_complement(self):
+        s = IntervalSet([Interval(2, 4), Interval(6, 8)])
+        comp = s.complement(Interval(0, 10))
+        assert comp.intervals == (Interval(0, 2), Interval(4, 6), Interval(8, 10))
+
+    def test_complement_of_empty(self):
+        assert IntervalSet.empty().complement(Interval(0, 5)).intervals == (Interval(0, 5),)
+
+    def test_covers_and_overlaps(self):
+        s = IntervalSet([Interval(0, 5), Interval(10, 20)])
+        assert s.covers(Interval(11, 15))
+        assert not s.covers(Interval(4, 11))
+        assert s.overlaps(Interval(4, 11))
+        assert not s.overlaps(Interval(5, 10))
+
+    def test_minimum(self):
+        assert IntervalSet([Interval(7, 9), Interval(2, 3)]).minimum() == 2
+        with pytest.raises(PredicateError):
+            IntervalSet.empty().minimum()
+
+    def test_boundaries(self):
+        s = IntervalSet([Interval(1, 3), Interval(5, 9)])
+        assert s.boundaries() == [1, 3, 5, 9]
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([Interval(0, 5)])
+        b = IntervalSet([Interval(0, 3), Interval(3, 5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+# ---------------------------------------------------------------------- #
+# elementary segments
+# ---------------------------------------------------------------------- #
+def test_elementary_segments_cover_domain():
+    domain = Interval(0, 100)
+    segments = elementary_segments(domain, [10, 40, 40, 200, -5])
+    assert segments[0].lo == 0 and segments[-1].hi == 100
+    assert sum(s.width for s in segments) == domain.width
+    assert len(segments) == 3
+
+
+# ---------------------------------------------------------------------- #
+# property-based tests
+# ---------------------------------------------------------------------- #
+interval_strategy = st.builds(
+    lambda lo, width: Interval(lo, lo + width),
+    st.integers(-1000, 1000),
+    st.integers(1, 500),
+)
+
+
+@given(st.lists(interval_strategy, min_size=0, max_size=8))
+@settings(max_examples=200)
+def test_intervalset_width_equals_point_count(intervals):
+    s = IntervalSet(intervals)
+    points = set()
+    for iv in intervals:
+        points.update(range(iv.lo, iv.hi))
+    assert s.width == len(points)
+
+
+@given(st.lists(interval_strategy, min_size=0, max_size=6), interval_strategy)
+@settings(max_examples=200)
+def test_complement_partitions_domain(intervals, domain):
+    s = IntervalSet(intervals).intersect_interval(domain)
+    comp = s.complement(domain)
+    # complement and original are disjoint and together cover the domain
+    assert s.intersect(comp).is_empty
+    assert s.width + comp.width == domain.width
+
+
+@given(st.lists(interval_strategy, min_size=1, max_size=6),
+       st.lists(interval_strategy, min_size=1, max_size=6))
+@settings(max_examples=200)
+def test_intersection_symmetric_and_contained(first, second):
+    a, b = IntervalSet(first), IntervalSet(second)
+    cap = a.intersect(b)
+    assert cap == b.intersect(a)
+    for iv in cap:
+        assert a.covers(iv)
+        assert b.covers(iv)

@@ -1,0 +1,142 @@
+"""Tests for LP formulation (region and grid) and the feasibility solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints.cc import CardinalityConstraint
+from repro.errors import LPError, LPTooLargeError
+from repro.lp.formulate import (
+    STRATEGY_GRID,
+    STRATEGY_REGION,
+    count_lp_variables,
+    formulate_view_lp,
+)
+from repro.lp.model import LPModel, LPSolution
+from repro.lp.solver import LPSolver
+from repro.predicates.dnf import DNFPredicate, col
+from repro.predicates.interval import Interval
+from repro.schema.relation import Attribute, Relation
+from repro.schema.schema import Schema
+from repro.views.preprocess import Preprocessor
+
+
+@pytest.fixture
+def person_schema() -> Schema:
+    """A single-relation schema matching the Person example."""
+    return Schema([
+        Relation(
+            name="person", primary_key="p_id", row_count=8000,
+            attributes=[
+                Attribute("age", Interval(0, 100)),
+                Attribute("salary", Interval(0, 100_000)),
+            ],
+        )
+    ])
+
+
+@pytest.fixture
+def person_task(person_schema):
+    ccs = [
+        CardinalityConstraint(relation="person", cardinality=1000,
+                              predicate=(col("age") < 40).conjoin(col("salary") < 40_000)),
+        CardinalityConstraint(relation="person", cardinality=2000,
+                              predicate=col("age").between(20, 60).conjoin(
+                                  col("salary").between(20_000, 60_000))),
+        CardinalityConstraint(relation="person", cardinality=8000,
+                              predicate=DNFPredicate.true()),
+    ]
+    return Preprocessor(person_schema).build_task("person", ccs)
+
+
+class TestFormulation:
+    def test_region_formulation_matches_figure_4b(self, person_task):
+        view_lp = formulate_view_lp(person_task, strategy=STRATEGY_REGION)
+        # Figure 4(b): four variables, three constraints with sums 1000/2000/8000.
+        assert view_lp.num_variables == 4
+        rhs = sorted(c.rhs for c in view_lp.model.cardinality_constraints())
+        assert rhs == [1000, 2000, 8000]
+        sizes = sorted(len(c.variables) for c in view_lp.model.cardinality_constraints())
+        assert sizes == [2, 2, 4]
+
+    def test_grid_formulation_matches_figure_4a(self, person_task):
+        view_lp = formulate_view_lp(person_task, strategy=STRATEGY_GRID)
+        assert view_lp.num_variables == 16
+        sizes = sorted(len(c.variables) for c in view_lp.model.cardinality_constraints())
+        assert sizes == [4, 4, 16]
+
+    def test_count_without_materialisation(self, person_task):
+        assert count_lp_variables(person_task, STRATEGY_REGION) == 4
+        assert count_lp_variables(person_task, STRATEGY_GRID) == 16
+
+    def test_grid_too_large_raises(self, person_task):
+        with pytest.raises(LPTooLargeError):
+            formulate_view_lp(person_task, strategy=STRATEGY_GRID, max_grid_variables=10)
+
+    def test_unknown_strategy(self, person_task):
+        with pytest.raises(LPError):
+            formulate_view_lp(person_task, strategy="voronoi")
+
+    def test_consistency_constraints_added_for_shared_attributes(self, toy_schema):
+        pre = Preprocessor(toy_schema)
+        ccs = [
+            CardinalityConstraint(relation="R", cardinality=100,
+                                  predicate=(col("A") >= 10).conjoin(col("B") >= 5)),
+            CardinalityConstraint(relation="R", cardinality=60,
+                                  predicate=(col("B") >= 5).conjoin(col("C") >= 1)),
+            CardinalityConstraint(relation="R", cardinality=80_000,
+                                  predicate=DNFPredicate.true()),
+        ]
+        task = pre.build_task("R", ccs)
+        view_lp = formulate_view_lp(task)
+        kinds = {c.kind for c in view_lp.model.constraints}
+        assert "consistency" in kinds
+        assert "B" in view_lp.aligned_attributes
+        # consistency rows have +1/-1 coefficients and rhs zero
+        for constraint in view_lp.model.constraints:
+            if constraint.kind == "consistency":
+                assert constraint.rhs == 0
+                assert set(constraint.coefficient_list()) <= {1.0, -1.0}
+
+
+class TestSolver:
+    def test_solves_person_lp_exactly(self, person_task):
+        view_lp = formulate_view_lp(person_task)
+        solution = LPSolver().solve(view_lp.model)
+        assert solution.feasible
+        assert solution.max_violation == 0.0
+        a, b = view_lp.model.matrix()
+        assert np.allclose(a.dot(solution.values.astype(float)), b)
+        assert (solution.values >= 0).all()
+
+    def test_empty_model(self):
+        solution = LPSolver().solve(LPModel(name="empty"))
+        assert solution.feasible
+        assert solution.values.size == 0
+
+    def test_continuous_fallback_used_above_variable_limit(self, person_task):
+        view_lp = formulate_view_lp(person_task)
+        solver = LPSolver(milp_variable_limit=1)
+        solution = solver.solve(view_lp.model)
+        assert solution.method == "linprog+l1"
+        assert solution.max_violation <= 1.0
+
+    def test_infeasible_constraints_reported_with_slack(self):
+        # x0 = 10 and x0 = 20 cannot both hold; the solver should still
+        # return a best-effort solution and flag it as not exactly feasible.
+        model = LPModel(name="conflict", num_variables=1)
+        model.add_constraint([0], 10)
+        model.add_constraint([0], 20)
+        solution = LPSolver(prefer_integer=False).solve(model)
+        assert not solution.feasible
+        assert solution.max_violation >= 5.0
+
+    def test_constraint_validation(self):
+        model = LPModel(name="m", num_variables=2)
+        with pytest.raises(LPError):
+            model.add_constraint([5], 1)
+        with pytest.raises(LPError):
+            model.add_constraint([0], -1)
+        with pytest.raises(LPError):
+            model.add_constraint([0, 1], 1, coefficients=[1.0])

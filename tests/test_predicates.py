@@ -1,0 +1,139 @@
+"""Unit tests for conjuncts, DNF predicates and the builder DSL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.predicates.conjunct import Conjunct, box_overlaps, box_satisfies
+from repro.predicates.dnf import DNFPredicate, and_, col, or_
+from repro.predicates.interval import Interval, IntervalSet
+
+
+class TestConjunct:
+    def test_true_conjunct(self):
+        c = Conjunct.true()
+        assert c.is_true
+        assert c.evaluate({"x": 5})
+        assert c.attributes == ()
+
+    def test_evaluate(self):
+        c = Conjunct({"a": IntervalSet.single(0, 10), "b": IntervalSet.single(5, 6)})
+        assert c.evaluate({"a": 3, "b": 5})
+        assert not c.evaluate({"a": 30, "b": 5})
+        assert not c.evaluate({"a": 3})  # missing attribute fails
+
+    def test_conjoin_intersects_shared_attributes(self):
+        c1 = Conjunct({"a": IntervalSet.single(0, 10)})
+        c2 = Conjunct({"a": IntervalSet.single(5, 20), "b": IntervalSet.single(1, 2)})
+        merged = c1.conjoin(c2)
+        assert merged.restriction("a") == IntervalSet.single(5, 10)
+        assert merged.restriction("b") == IntervalSet.single(1, 2)
+
+    def test_unsatisfiable(self):
+        c = Conjunct({"a": IntervalSet.single(0, 5)}).conjoin(
+            Conjunct({"a": IntervalSet.single(5, 10)})
+        )
+        assert c.is_unsatisfiable
+
+    def test_rename_and_project(self):
+        c = Conjunct({"a": IntervalSet.single(0, 5), "b": IntervalSet.single(2, 4)})
+        renamed = c.rename({"a": "x"})
+        assert set(renamed.attributes) == {"x", "b"}
+        projected = c.project(["a"])
+        assert projected.attributes == ("a",)
+
+    def test_rejects_non_intervalset(self):
+        with pytest.raises(PredicateError):
+            Conjunct({"a": (0, 5)})  # type: ignore[dict-item]
+
+    def test_hash_and_eq(self):
+        c1 = Conjunct({"a": IntervalSet.single(0, 5)})
+        c2 = Conjunct({"a": IntervalSet.single(0, 5)})
+        assert c1 == c2 and hash(c1) == hash(c2)
+
+
+class TestDNFPredicate:
+    def test_true_false(self):
+        assert DNFPredicate.true().is_true
+        assert DNFPredicate.false().is_false
+        assert not DNFPredicate.true().is_false
+
+    def test_evaluate_or(self):
+        p = DNFPredicate.of(
+            Conjunct({"a": IntervalSet.single(0, 5)}),
+            Conjunct({"b": IntervalSet.single(10, 20)}),
+        )
+        assert p.evaluate({"a": 3, "b": 50})
+        assert p.evaluate({"a": 50, "b": 15})
+        assert not p.evaluate({"a": 50, "b": 50})
+
+    def test_conjoin_distributes(self):
+        p1 = DNFPredicate.of(Conjunct({"a": IntervalSet.single(0, 5)}),
+                             Conjunct({"a": IntervalSet.single(10, 15)}))
+        p2 = DNFPredicate.of(Conjunct({"b": IntervalSet.single(0, 5)}))
+        combined = p1.conjoin(p2)
+        assert len(combined.conjuncts) == 2
+        assert set(combined.attributes) == {"a", "b"}
+
+    def test_conjoin_drops_unsatisfiable(self):
+        p1 = DNFPredicate.of(Conjunct({"a": IntervalSet.single(0, 5)}))
+        p2 = DNFPredicate.of(Conjunct({"a": IntervalSet.single(5, 10)}))
+        assert p1.conjoin(p2).is_false
+
+    def test_attributes_sorted(self):
+        p = DNFPredicate.of(Conjunct({"z": IntervalSet.single(0, 1),
+                                      "a": IntervalSet.single(0, 1)}))
+        assert p.attributes == ("a", "z")
+
+    def test_true_conjunction_identity(self):
+        p = DNFPredicate.from_range("a", 0, 5)
+        assert DNFPredicate.true().conjoin(p) == p
+        assert p.conjoin(DNFPredicate.true()) == p
+
+
+class TestBuilderDSL:
+    def test_comparisons(self):
+        assert (col("age") < 40).evaluate({"age": 39})
+        assert not (col("age") < 40).evaluate({"age": 40})
+        assert (col("age") <= 40).evaluate({"age": 40})
+        assert (col("age") >= 40).evaluate({"age": 40})
+        assert (col("age") > 40).evaluate({"age": 41})
+        assert (col("age") == 40).evaluate({"age": 40})
+
+    def test_between_and_isin(self):
+        assert col("age").between(20, 60).evaluate({"age": 59})
+        assert not col("age").between(20, 60).evaluate({"age": 60})
+        p = col("state").isin([3, 7, 9])
+        assert p.evaluate({"state": 7})
+        assert not p.evaluate({"state": 8})
+
+    def test_and_or_helpers(self):
+        p = and_(col("a") >= 5, col("b") < 3)
+        assert p.evaluate({"a": 6, "b": 2})
+        assert not p.evaluate({"a": 6, "b": 4})
+        q = or_(col("a") >= 5, col("b") < 3)
+        assert q.evaluate({"a": 1, "b": 2})
+
+    def test_equality_requires_int(self):
+        with pytest.raises(PredicateError):
+            _ = col("a") == "x"  # type: ignore[comparison-overlap]
+
+
+class TestBoxPredicates:
+    def test_box_satisfies(self):
+        box = {"a": Interval(0, 5), "b": Interval(10, 20)}
+        c = Conjunct({"a": IntervalSet.single(0, 10)})
+        assert box_satisfies(c, box)
+        c2 = Conjunct({"a": IntervalSet.single(0, 3)})
+        assert not box_satisfies(c2, box)
+
+    def test_box_satisfies_missing_attr(self):
+        box = {"a": Interval(0, 5)}
+        c = Conjunct({"z": IntervalSet.single(0, 10)})
+        assert not box_satisfies(c, box)
+
+    def test_box_overlaps(self):
+        box = {"a": Interval(0, 5)}
+        assert box_overlaps(Conjunct({"a": IntervalSet.single(4, 10)}), box)
+        assert not box_overlaps(Conjunct({"a": IntervalSet.single(5, 10)}), box)

@@ -1,0 +1,77 @@
+"""Tests for the signature-based partitioner: it must produce exactly the
+same labelled regions as the box-geometry reference implementation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PartitionBudgetError
+from repro.partition.region import optimal_partition
+from repro.partition.signature import (
+    partition_variables,
+    shared_segments_from_constraints,
+)
+from repro.predicates.interval import Interval
+from tests.test_partition import random_constraints
+
+
+class TestSignaturePartitioning:
+    def test_person_example_variables(self, person_domains, person_constraints):
+        variables = partition_variables(
+            ("age", "salary"), person_domains, person_constraints,
+            constraint_indices=[0, 1, 2], shared_segments={},
+        )
+        assert len(variables) == 4
+        labels = {v.label for v in variables}
+        assert labels == {
+            frozenset({0, 2}), frozenset({0, 1, 2}), frozenset({1, 2}), frozenset({2}),
+        }
+        # every representative corner satisfies exactly its label
+        for variable in variables:
+            corner = variable.representative()
+            for index, constraint in enumerate(person_constraints):
+                assert constraint.predicate.evaluate(corner) == (index in variable.label)
+
+    def test_shared_segment_refinement_splits_variables(self, person_domains, person_constraints):
+        segments = shared_segments_from_constraints(
+            "age", person_domains["age"], person_constraints
+        )
+        variables = partition_variables(
+            ("age", "salary"), person_domains, person_constraints,
+            constraint_indices=[0, 1, 2], shared_segments={"age": segments},
+        )
+        # refinement along age can only increase the variable count
+        assert len(variables) >= 4
+        for variable in variables:
+            assert dict(variable.shared_cell).keys() == {"age"}
+
+    def test_budget_abort(self, person_domains, person_constraints):
+        segments = shared_segments_from_constraints(
+            "age", person_domains["age"], person_constraints
+        )
+        with pytest.raises(PartitionBudgetError):
+            partition_variables(
+                ("age", "salary"), person_domains, person_constraints,
+                constraint_indices=[0, 1, 2], shared_segments={"age": segments},
+                max_states=2,
+            )
+
+    def test_only_size_constraint(self, person_domains, person_constraints):
+        size_only = [person_constraints[2]]
+        variables = partition_variables(
+            ("age",), person_domains, size_only, [0], {},
+        )
+        assert len(variables) == 1
+        assert variables[0].label == frozenset({0})
+
+
+@given(random_constraints())
+@settings(max_examples=60, deadline=None)
+def test_signature_labels_match_box_geometry(data):
+    attrs, domains, constraints = data
+    regions = optimal_partition(attrs, domains, constraints)
+    variables = partition_variables(attrs, domains, constraints,
+                                    list(range(len(constraints))), {})
+    assert {r.label for r in regions} == {v.label for v in variables}
+    assert len(regions) == len(variables)
