@@ -9,7 +9,7 @@ cardinalities up to the nominal 100 GB configuration via the CODD path.
 from __future__ import annotations
 
 from repro.codd.scaling import scale_constraints
-from benchmarks.conftest import FACT_SCALE
+from benchmarks.conftest import FACT_SCALE, QUICK
 
 
 def test_fig09_cc_cardinality_distribution(benchmark, tpcds_env):
@@ -25,6 +25,6 @@ def test_fig09_cc_cardinality_distribution(benchmark, tpcds_env):
     for lo, count in zip(histogram["bin_edges"], histogram["counts"]):
         print(f"  10^{lo:>4.1f}+ : {'#' * int(count)} ({count})")
 
-    assert summary["count"] >= 300            # paper: 351 CCs
+    assert summary["count"] >= (100 if QUICK else 300)   # paper: 351 CCs
     assert summary["max"] >= 10**7            # wide dynamic range after scaling
     assert sum(histogram["counts"]) == summary["count"]

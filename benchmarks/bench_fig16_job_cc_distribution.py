@@ -6,6 +6,7 @@ cardinality constraints with a highly varied cardinality distribution.
 
 from __future__ import annotations
 
+from benchmarks.conftest import QUICK
 from repro.codd.scaling import scale_constraints
 
 
@@ -22,5 +23,5 @@ def test_fig16_job_cc_distribution(benchmark, job_env):
     for lo, count in zip(histogram["bin_edges"], histogram["counts"]):
         print(f"  10^{lo:>4.1f}+ : {'#' * min(int(count), 80)} ({count})")
 
-    assert summary["count"] >= 300
+    assert summary["count"] >= (100 if QUICK else 300)
     assert sum(histogram["counts"]) == summary["count"]

@@ -9,6 +9,8 @@ The printed output of each benchmark is the reproduced table/series.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.benchdata.datagen import generate_database
@@ -16,10 +18,18 @@ from repro.benchdata.job import job_schema, job_workload
 from repro.benchdata.tpcds import complex_workload, simple_workload, tpcds_schema
 from repro.hydra.client import extract_constraints
 
+#: ``BENCH_QUICK=1`` shrinks every experiment environment so the benchmarks
+#: double as a fast CI smoke check (the reproduced numbers are then only
+#: indicative, not the paper-scale figures).
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
 #: Scale used for the client instances backing the experiments: fact tables
 #: at 1/1000 of the 100 GB configuration, dimensions at 1/50.
-FACT_SCALE = 0.001
-DIMENSION_SCALE = 0.02
+FACT_SCALE = 0.0005 if QUICK else 0.001
+DIMENSION_SCALE = 0.01 if QUICK else 0.02
+WLC_QUERIES = 40 if QUICK else 131
+WLS_QUERIES = 30 if QUICK else 110
+JOB_QUERIES = 60 if QUICK else 260
 
 
 @pytest.fixture(scope="session")
@@ -27,8 +37,8 @@ def tpcds_env():
     """Schema, client database and both workloads' constraint sets."""
     schema = tpcds_schema(scale_factor=FACT_SCALE, dimension_scale=DIMENSION_SCALE)
     database = generate_database(schema, seed=1)
-    wlc = complex_workload(schema, num_queries=131)
-    wls = simple_workload(schema, num_queries=110)
+    wlc = complex_workload(schema, num_queries=WLC_QUERIES)
+    wls = simple_workload(schema, num_queries=WLS_QUERIES)
     package_c = extract_constraints(database, wlc, name="WLc")
     package_s = extract_constraints(database, wls, name="WLs")
     return {
@@ -44,6 +54,6 @@ def job_env():
     """Schema, client database and constraints for the JOB environment."""
     schema = job_schema(scale_factor=0.002)
     database = generate_database(schema, seed=11)
-    workload = job_workload(schema, num_queries=260)
+    workload = job_workload(schema, num_queries=JOB_QUERIES)
     package = extract_constraints(database, workload, name="JOB")
     return {"schema": schema, "database": database, "ccs": package.constraints}

@@ -30,7 +30,7 @@ from repro.engine.table import Table
 from repro.errors import LPTooLargeError, SummaryError
 from repro.lp.formulate import STRATEGY_GRID, count_lp_variables, formulate_view_lp
 from repro.lp.model import ViewLP
-from repro.lp.solver import LPSolver
+from repro.lp.solver import DEFAULT_CACHE_SIZE, ParallelLPSolver
 from repro.schema.schema import Schema
 from repro.views.preprocess import Preprocessor, ViewTask
 
@@ -39,11 +39,18 @@ import networkx as nx
 
 @dataclass
 class DataSynthConfig:
-    """Tuning knobs of the DataSynth baseline."""
+    """Tuning knobs of the DataSynth baseline.
+
+    ``workers``/``cache_size`` configure the shared decomposing LP solver;
+    the baseline defaults to one worker (the original system is serial) but
+    still benefits from decomposition and solution caching.
+    """
 
     max_grid_variables: int = 200_000
     seed: int = 7
     time_limit: Optional[float] = None
+    workers: int = 1
+    cache_size: int = DEFAULT_CACHE_SIZE
 
 
 @dataclass
@@ -97,7 +104,12 @@ class DataSynth:
         self.preprocessor = Preprocessor(schema)
         # DataSynth works with a continuous LP solution (the sampling step
         # does not need integrality).
-        self.solver = LPSolver(prefer_integer=False, time_limit=self.config.time_limit)
+        self.solver = ParallelLPSolver(
+            workers=self.config.workers,
+            cache_size=self.config.cache_size,
+            prefer_integer=False,
+            time_limit=self.config.time_limit,
+        )
 
     # ------------------------------------------------------------------ #
     # public API

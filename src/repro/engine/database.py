@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -15,9 +15,15 @@ from repro.schema.schema import Schema
 class Database:
     """An in-memory database: a validated schema and its relation instances.
 
-    Tables may be attached lazily (``datagen``-style dynamic relations are
-    registered as callables that build the table on first access), which is
-    how the Tuple Generator of Section 6 plugs into the engine.
+    Tables may be attached lazily, which is how the Tuple Generator of
+    Section 6 plugs into the engine.  Two lazy flavours exist:
+
+    * :meth:`attach_dynamic` registers a zero-argument callable returning the
+      complete table, built on first access;
+    * :meth:`attach_stream` registers a factory of columnar *batches*;
+      streaming consumers pull batches via :meth:`scan_batches` without the
+      relation ever being materialised, while whole-table consumers get a
+      concatenated (and then cached) table from :meth:`table`.
     """
 
     def __init__(self, schema: Schema, tables: Optional[Mapping[str, Table]] = None,
@@ -25,7 +31,8 @@ class Database:
         self.schema = schema
         self.name = name
         self._tables: Dict[str, Table] = {}
-        self._lazy: Dict[str, "callable"] = {}
+        self._lazy: Dict[str, Callable[[], Table]] = {}
+        self._streams: Dict[str, Callable[[], Iterator[Table]]] = {}
         for rel_name, table in (tables or {}).items():
             self.attach(rel_name, table)
 
@@ -42,8 +49,9 @@ class Database:
             )
         self._tables[relation] = table
         self._lazy.pop(relation, None)
+        self._streams.pop(relation, None)
 
-    def attach_dynamic(self, relation: str, factory) -> None:
+    def attach_dynamic(self, relation: str, factory: Callable[[], Table]) -> None:
         """Register a dynamic (generate-on-demand) source for ``relation``.
 
         ``factory`` is a zero-argument callable returning a :class:`Table`;
@@ -53,6 +61,22 @@ class Database:
         self.schema.relation(relation)
         self._lazy[relation] = factory
         self._tables.pop(relation, None)
+        self._streams.pop(relation, None)
+
+    def attach_stream(self, relation: str,
+                      stream_factory: Callable[[], Iterator[Table]]) -> None:
+        """Register a batch-streaming source for ``relation``.
+
+        ``stream_factory`` is a zero-argument callable returning a fresh
+        iterator of columnar batches.  Nothing is generated until the
+        relation is scanned; :meth:`scan_batches` consumes batches one at a
+        time (bounded memory), and :meth:`table` concatenates a full pass and
+        caches the result for subsequent whole-table access.
+        """
+        self.schema.relation(relation)
+        self._streams[relation] = stream_factory
+        self._tables.pop(relation, None)
+        self._lazy.pop(relation, None)
 
     def table(self, relation: str) -> Table:
         """Return the table for ``relation``, materialising it if dynamic."""
@@ -62,21 +86,52 @@ class Database:
             table = self._lazy[relation]()
             self._tables[relation] = table
             return table
+        if relation in self._streams:
+            table = self._concat_batches(relation, self._streams[relation]())
+            self._tables[relation] = table
+            return table
         raise EngineError(f"no data attached for relation {relation!r}")
+
+    def scan_batches(self, relation: str) -> Iterator[Table]:
+        """Iterate over the relation in columnar batches.
+
+        Stream-attached relations are served straight from their batch
+        factory without ever materialising the whole table; already
+        materialised (or plain dynamic) relations yield a single batch.
+        Unknown relations raise immediately, not at first iteration.
+        """
+        if relation in self._streams and relation not in self._tables:
+            return self._streams[relation]()
+        table = self.table(relation)  # raises EngineError when unattached
+        return iter((table,))
 
     def has_table(self, relation: str) -> bool:
         """Return ``True`` if data (materialised or dynamic) is attached."""
-        return relation in self._tables or relation in self._lazy
+        return (relation in self._tables or relation in self._lazy
+                or relation in self._streams)
 
     def is_dynamic(self, relation: str) -> bool:
         """Return ``True`` if the relation is served by a dynamic generator
-        that has not been materialised yet."""
-        return relation in self._lazy and relation not in self._tables
+        or batch stream that has not been materialised yet."""
+        return (relation in self._lazy or relation in self._streams) \
+            and relation not in self._tables
 
     @property
     def relations(self) -> Tuple[str, ...]:
         """Names of relations with attached data."""
-        return tuple(sorted(set(self._tables) | set(self._lazy)))
+        return tuple(sorted(set(self._tables) | set(self._lazy) | set(self._streams)))
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _concat_batches(self, relation: str, batches: Iterator[Table]) -> Table:
+        """Concatenate a batch stream into one table (empty streams produce
+        a zero-row table with the relation's schema columns)."""
+        collected = list(batches)
+        if not collected:
+            rel = self.schema.relation(relation)
+            return Table.empty(rel.all_columns, name=relation)
+        return Table.concat(collected, name=relation)
 
     # ------------------------------------------------------------------ #
     # statistics

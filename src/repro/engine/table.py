@@ -50,6 +50,18 @@ class Table:
         return cls({c: np.empty(0, dtype=np.int64) for c in column_names}, name=name)
 
     @classmethod
+    def concat(cls, tables: Sequence["Table"], name: str = "") -> "Table":
+        """Concatenate tables with identical columns (e.g. streamed batches)."""
+        if not tables:
+            raise EngineError("cannot concatenate zero tables")
+        if len(tables) == 1:
+            return tables[0]
+        columns = tables[0].column_names
+        return cls({
+            c: np.concatenate([t.column(c) for t in tables]) for c in columns
+        }, name=name or tables[0].name)
+
+    @classmethod
     def from_rows(cls, column_names: Sequence[str], rows: Iterable[Sequence[int]],
                   name: str = "") -> "Table":
         """Build a table from an iterable of row tuples."""

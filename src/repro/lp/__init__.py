@@ -1,5 +1,12 @@
-"""LP formulation (region and grid strategies) and feasibility solvers."""
+"""LP formulation (region and grid strategies), decomposition and solvers."""
 
+from repro.lp.decompose import (
+    Decomposition,
+    LPComponent,
+    component_key,
+    decompose_model,
+    stitch_solutions,
+)
 from repro.lp.formulate import (
     DEFAULT_MAX_GRID_VARIABLES,
     STRATEGY_GRID,
@@ -8,7 +15,14 @@ from repro.lp.formulate import (
     formulate_view_lp,
 )
 from repro.lp.model import LPConstraint, LPModel, LPSolution, SubViewBlock, ViewLP
-from repro.lp.solver import DEFAULT_MILP_VARIABLE_LIMIT, LPSolver
+from repro.lp.solver import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_MILP_VARIABLE_LIMIT,
+    DEFAULT_WORKERS,
+    LPSolver,
+    ParallelLPSolver,
+    SolverStats,
+)
 
 __all__ = [
     "LPModel",
@@ -17,7 +31,16 @@ __all__ = [
     "SubViewBlock",
     "ViewLP",
     "LPSolver",
+    "ParallelLPSolver",
+    "SolverStats",
+    "Decomposition",
+    "LPComponent",
+    "component_key",
+    "decompose_model",
+    "stitch_solutions",
     "DEFAULT_MILP_VARIABLE_LIMIT",
+    "DEFAULT_WORKERS",
+    "DEFAULT_CACHE_SIZE",
     "formulate_view_lp",
     "count_lp_variables",
     "STRATEGY_REGION",

@@ -19,7 +19,6 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import LPError, LPTooLargeError, PartitionBudgetError
 from repro.partition.box import Box
-from repro.partition.box import Box
 from repro.partition.consistency import RefinedVariable
 from repro.partition.grid import grid_cell_count, grid_intervals
 from repro.partition.signature import (
@@ -76,7 +75,8 @@ def formulate_view_lp(task: ViewTask, strategy: str = STRATEGY_REGION,
                   aligned_attributes=aligned)
 
 
-def count_lp_variables(task: ViewTask, strategy: str = STRATEGY_REGION) -> int:
+def count_lp_variables(task: ViewTask, strategy: str = STRATEGY_REGION,
+                       max_region_variables: int = DEFAULT_MAX_REGION_VARIABLES) -> int:
     """Number of LP variables the strategy would create for this view,
     computed without materialising grids (used for Figures 12 and 17)."""
     if strategy == STRATEGY_GRID:
@@ -87,7 +87,7 @@ def count_lp_variables(task: ViewTask, strategy: str = STRATEGY_REGION) -> int:
             )
         return total
     if strategy == STRATEGY_REGION:
-        variables, _aligned = _region_variables(task, DEFAULT_MAX_REGION_VARIABLES)
+        variables, _aligned = _region_variables(task, max_region_variables)
         return sum(len(vars_) for vars_ in variables.values())
     raise LPError(f"unknown partitioning strategy {strategy!r}")
 

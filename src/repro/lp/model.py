@@ -48,6 +48,11 @@ class LPModel:
     name: str
     num_variables: int = 0
     constraints: List[LPConstraint] = field(default_factory=list)
+    #: Cached ``(A, b)`` system, invalidated whenever a constraint is added;
+    #: the solver, the decomposer and the violation check all need it.
+    _matrix_cache: Optional[Tuple["sparse.csr_matrix", np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_constraint(self, variables: Sequence[int], rhs: int,
                        coefficients: Optional[Sequence[float]] = None,
@@ -58,6 +63,7 @@ class LPModel:
                 raise LPError(f"variable index {index} out of range")
         if rhs < 0:
             raise LPError("constraint right-hand side must be non-negative")
+        self._matrix_cache = None
         self.constraints.append(
             LPConstraint(
                 variables=tuple(variables),
@@ -78,7 +84,13 @@ class LPModel:
         return [c for c in self.constraints if c.kind == "cardinality"]
 
     def matrix(self) -> Tuple["sparse.csr_matrix", np.ndarray]:
-        """Return the sparse equality matrix ``A`` and right-hand side ``b``."""
+        """Return the sparse equality matrix ``A`` and right-hand side ``b``.
+
+        The system is cached until the next :meth:`add_constraint` call;
+        callers must not mutate the returned arrays.
+        """
+        if self._matrix_cache is not None:
+            return self._matrix_cache
         rows: List[int] = []
         cols: List[int] = []
         data: List[float] = []
@@ -92,6 +104,7 @@ class LPModel:
             shape=(len(self.constraints), self.num_variables),
         )
         b = np.array([c.rhs for c in self.constraints], dtype=np.float64)
+        self._matrix_cache = (a, b)
         return a, b
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

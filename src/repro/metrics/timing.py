@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -34,13 +35,20 @@ class Timer:
 
 @dataclass
 class TimingLog:
-    """Accumulates named timings for multi-phase experiments."""
+    """Accumulates named timings for multi-phase experiments.
+
+    Recording is thread-safe, so phases running inside a worker pool (e.g.
+    the parallel LP solver) can share one log.
+    """
 
     entries: Dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, name: str, seconds: float) -> None:
         """Add (accumulate) a timing under ``name``."""
-        self.entries[name] = self.entries.get(name, 0.0) + seconds
+        with self._lock:
+            self.entries[name] = self.entries.get(name, 0.0) + seconds
 
     def time(self, name: str) -> "_LogTimer":
         """Return a context manager that records its duration under ``name``."""
@@ -48,7 +56,8 @@ class TimingLog:
 
     def total(self) -> float:
         """Sum of all recorded timings."""
-        return sum(self.entries.values())
+        with self._lock:
+            return sum(self.entries.values())
 
 
 class _LogTimer:

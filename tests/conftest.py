@@ -146,3 +146,24 @@ def small_tpcds_constraints(small_tpcds_schema, small_tpcds_database):
     """CCs extracted from a small simple workload on the tiny instance."""
     workload = simple_workload(small_tpcds_schema, num_queries=25, seed=3)
     return extract_constraints(small_tpcds_database, workload).constraints
+
+
+# ---------------------------------------------------------------------- #
+# small JOB-like client environment
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def small_job_schema() -> Schema:
+    """A tiny JOB-like schema usable for end-to-end tests."""
+    from repro.benchdata.job import job_schema
+
+    return job_schema(scale_factor=0.001)
+
+
+@pytest.fixture(scope="session")
+def small_job_constraints(small_job_schema):
+    """CCs extracted from a small JOB workload on a tiny instance."""
+    from repro.benchdata.job import job_workload
+
+    database = generate_database(small_job_schema, seed=19)
+    workload = job_workload(small_job_schema, num_queries=20, seed=23)
+    return extract_constraints(database, workload).constraints

@@ -1,0 +1,261 @@
+"""Tests for the constraint-graph decomposer, the component solution cache
+and the :class:`~repro.lp.solver.ParallelLPSolver`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleLPError, LPError
+from repro.hydra.pipeline import Hydra, HydraConfig
+from repro.lp.decompose import (
+    component_key,
+    decompose_model,
+    stitch_solutions,
+)
+from repro.lp.formulate import formulate_view_lp
+from repro.lp.model import LPModel, LPSolution
+from repro.lp.solver import LPSolver, ParallelLPSolver
+from repro.views.preprocess import Preprocessor
+
+
+def two_block_model() -> LPModel:
+    """A model with two independent blocks, one free variable and one
+    variable-free (orphan) constraint."""
+    model = LPModel(name="blocks", num_variables=5)
+    model.add_constraint([0, 1], 10)
+    model.add_constraint([1], 4)
+    model.add_constraint([2, 3], 7)
+    model.add_constraint([], 0)
+    return model
+
+
+class TestDecomposer:
+    def test_components_are_independent_blocks(self):
+        decomposition = decompose_model(two_block_model())
+        memberships = sorted(c.variable_indices for c in decomposition.components)
+        assert memberships == [(0, 1), (2, 3)]
+        assert decomposition.free_variables == (4,)
+        assert len(decomposition.orphan_constraints) == 1
+
+    def test_components_sorted_largest_first(self):
+        model = LPModel(name="sizes", num_variables=6)
+        model.add_constraint([0], 1)
+        model.add_constraint([1, 2, 3], 5)
+        model.add_constraint([4, 5], 2)
+        decomposition = decompose_model(model)
+        sizes = [c.num_variables for c in decomposition.components]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_chained_constraints_merge_components(self):
+        # 0-1 and 1-2 share variable 1 -> a single component {0, 1, 2}.
+        model = LPModel(name="chain", num_variables=3)
+        model.add_constraint([0, 1], 5)
+        model.add_constraint([1, 2], 6)
+        decomposition = decompose_model(model)
+        assert len(decomposition.components) == 1
+        assert decomposition.components[0].variable_indices == (0, 1, 2)
+
+    def test_local_models_are_self_contained(self):
+        decomposition = decompose_model(two_block_model())
+        for component in decomposition.components:
+            local = component.model
+            assert local.num_variables == len(component.variable_indices)
+            for constraint in local.constraints:
+                assert all(0 <= v < local.num_variables for v in constraint.variables)
+
+    def test_nonzero_orphan_constraint_flags_infeasibility(self):
+        model = LPModel(name="orphan", num_variables=1)
+        model.add_constraint([0], 3)
+        model.constraints.append(model.constraints[0].__class__(
+            variables=(), rhs=5, kind="cardinality"
+        ))
+        decomposition = decompose_model(model)
+        assert decomposition.orphan_violation == 5.0
+        solutions = [LPSolver().solve(c.model) for c in decomposition.components]
+        stitched = stitch_solutions(decomposition, solutions)
+        assert not stitched.feasible
+        assert stitched.max_violation >= 5.0
+
+    def test_stitch_requires_matching_solutions(self):
+        decomposition = decompose_model(two_block_model())
+        with pytest.raises(LPError):
+            stitch_solutions(decomposition, [])
+
+    def test_stitch_recomposes_feasible_solution(self):
+        model = two_block_model()
+        decomposition = decompose_model(model)
+        solutions = [LPSolver().solve(c.model) for c in decomposition.components]
+        stitched = stitch_solutions(decomposition, solutions)
+        a, b = model.matrix()
+        assert np.abs(a.dot(stitched.values.astype(float)) - b).max() == 0.0
+        assert stitched.values[4] == 0  # free variable pinned to zero
+
+
+class TestComponentKey:
+    def test_key_ignores_names_and_tags(self):
+        one = LPModel(name="one", num_variables=2)
+        one.add_constraint([0, 1], 9, tag="cc0@sv0")
+        two = LPModel(name="two", num_variables=2)
+        two.add_constraint([0, 1], 9, tag="something-else")
+        assert component_key(one) == component_key(two)
+
+    def test_key_distinguishes_rhs_and_structure(self):
+        base = LPModel(name="m", num_variables=2)
+        base.add_constraint([0, 1], 9)
+        different_rhs = LPModel(name="m", num_variables=2)
+        different_rhs.add_constraint([0, 1], 8)
+        different_vars = LPModel(name="m", num_variables=2)
+        different_vars.add_constraint([0], 9)
+        keys = {component_key(base), component_key(different_rhs),
+                component_key(different_vars)}
+        assert len(keys) == 3
+
+
+class TestParallelLPSolver:
+    def test_matches_serial_solver_on_person_lp(self):
+        from repro.constraints.cc import CardinalityConstraint
+        from repro.predicates.dnf import DNFPredicate, col
+        from repro.predicates.interval import Interval
+        from repro.schema.relation import Attribute, Relation
+        from repro.schema.schema import Schema
+
+        person_schema = Schema([
+            Relation(
+                name="person", primary_key="p_id", row_count=8000,
+                attributes=[
+                    Attribute("age", Interval(0, 100)),
+                    Attribute("salary", Interval(0, 100_000)),
+                ],
+            )
+        ])
+        ccs = [
+            CardinalityConstraint(relation="person", cardinality=1000,
+                                  predicate=(col("age") < 40).conjoin(col("salary") < 40_000)),
+            CardinalityConstraint(relation="person", cardinality=8000,
+                                  predicate=DNFPredicate.true()),
+        ]
+        task = Preprocessor(person_schema).build_task("person", ccs)
+        view_lp = formulate_view_lp(task)
+        parallel = ParallelLPSolver(workers=2).solve(view_lp.model)
+        serial = LPSolver().solve(view_lp.model)
+        a, b = view_lp.model.matrix()
+        for solution in (parallel, serial):
+            assert solution.feasible
+            assert solution.max_violation == 0.0
+            assert np.abs(a.dot(solution.values.astype(float)) - b).max() == 0.0
+
+    def test_repeated_solve_hits_cache(self):
+        solver = ParallelLPSolver(workers=2, cache_size=16)
+        model = two_block_model()
+        first = solver.solve(model)
+        assert solver.stats.cache_hits == 0
+        assert solver.stats.cache_misses == 2
+        second = solver.solve(model)
+        assert solver.stats.cache_hits == 2
+        assert solver.stats.components_solved == 2  # nothing re-solved
+        assert np.array_equal(first.values, second.values)
+        assert second.solve_seconds == 0.0  # cache hits cost no solve time
+
+    def test_cache_disabled(self):
+        solver = ParallelLPSolver(workers=1, cache_size=0)
+        model = two_block_model()
+        solver.solve(model)
+        solver.solve(model)
+        assert solver.stats.cache_hits == 0
+        assert solver.stats.components_solved == 4
+
+    def test_cache_evicts_least_recently_used(self):
+        solver = ParallelLPSolver(workers=1, cache_size=1)
+        solver.solve(two_block_model())  # two components, capacity one
+        assert solver.cache_info["size"] == 1
+
+    def test_solve_many_deduplicates_across_models(self):
+        solver = ParallelLPSolver(workers=2, cache_size=16)
+        solutions = solver.solve_many([two_block_model(), two_block_model()])
+        assert len(solutions) == 2
+        assert solver.stats.components_solved == 2  # shared across the batch
+        assert np.array_equal(solutions[0].values, solutions[1].values)
+
+    def test_strict_mode_raises_on_conflicting_ccs(self):
+        model = LPModel(name="conflict", num_variables=1)
+        model.add_constraint([0], 10)
+        model.add_constraint([0], 20)
+        with pytest.raises(InfeasibleLPError):
+            ParallelLPSolver(workers=2, strict=True).solve(model)
+
+    def test_non_strict_mode_reports_violation(self):
+        model = LPModel(name="conflict", num_variables=1)
+        model.add_constraint([0], 10)
+        model.add_constraint([0], 20)
+        solution = ParallelLPSolver(workers=2).solve(model)
+        assert not solution.feasible
+        assert solution.max_violation >= 5.0
+
+    def test_process_pool_backend(self):
+        solver = ParallelLPSolver(workers=2, use_processes=True)
+        solution = solver.solve(two_block_model())
+        assert solution.feasible
+        assert solution.max_violation == 0.0
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(LPError):
+            ParallelLPSolver(workers=0)
+        with pytest.raises(LPError):
+            ParallelLPSolver(cache_size=-1)
+
+    def test_empty_model(self):
+        solution = ParallelLPSolver().solve(LPModel(name="empty"))
+        assert solution.feasible
+        assert solution.values.size == 0
+
+
+class TestTierOneWorkloads:
+    """Component solutions must recompose to feasible full solutions on the
+    tier-1 client environments (TPC-DS-like and JOB-like)."""
+
+    def _check_views(self, schema, constraints):
+        preprocessor = Preprocessor(schema)
+        solver = ParallelLPSolver(workers=2)
+        by_relation = constraints.by_relation()
+        checked = 0
+        for relation, ccs in by_relation.items():
+            task = preprocessor.build_task(relation, ccs)
+            if not task.subviews:
+                continue
+            view_lp = formulate_view_lp(task)
+            decomposition = decompose_model(view_lp.model)
+            solution = solver.solve(view_lp.model)
+            a, b = view_lp.model.matrix()
+            residual = np.abs(a.dot(solution.values.astype(float)) - b).max() if b.size else 0.0
+            assert solution.max_violation == 0.0, relation
+            assert residual == 0.0, relation
+            assert (solution.values >= 0).all()
+            # decomposition covers every variable exactly once
+            seen = sorted(
+                v for c in decomposition.components for v in c.variable_indices
+            ) + sorted(decomposition.free_variables)
+            assert sorted(seen) == list(range(view_lp.model.num_variables))
+            checked += 1
+        assert checked > 0
+
+    def test_tpcds_views_recompose_feasibly(self, small_tpcds_schema,
+                                            small_tpcds_constraints):
+        self._check_views(small_tpcds_schema, small_tpcds_constraints)
+
+    def test_job_views_recompose_feasibly(self, small_job_schema,
+                                          small_job_constraints):
+        self._check_views(small_job_schema, small_job_constraints)
+
+    def test_hydra_rebuild_hits_cache(self, small_tpcds_schema, small_tpcds_constraints):
+        hydra = Hydra(small_tpcds_schema, HydraConfig(workers=2, cache_size=512))
+        first = hydra.build_summary(small_tpcds_constraints)
+        components = hydra.solver.stats.components_solved
+        assert components > 0
+        second = hydra.build_summary(small_tpcds_constraints)
+        assert hydra.solver.stats.components_solved == components  # all cached
+        assert hydra.solver.stats.cache_hits >= components
+        assert second.solver_stats["cache_hits"] >= components
+        for relation in first.summary.relations:
+            assert first.summary.relation(relation).rows == \
+                second.summary.relation(relation).rows

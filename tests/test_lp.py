@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.constraints.cc import CardinalityConstraint
-from repro.errors import LPError, LPTooLargeError
+from repro.errors import InfeasibleLPError, LPError, LPTooLargeError
 from repro.lp.formulate import (
     STRATEGY_GRID,
     STRATEGY_REGION,
@@ -14,7 +14,7 @@ from repro.lp.formulate import (
     formulate_view_lp,
 )
 from repro.lp.model import LPModel, LPSolution
-from repro.lp.solver import LPSolver
+from repro.lp.solver import LPSolver, ParallelLPSolver
 from repro.predicates.dnf import DNFPredicate, col
 from repro.predicates.interval import Interval
 from repro.schema.relation import Attribute, Relation
@@ -140,3 +140,85 @@ class TestSolver:
             model.add_constraint([0], -1)
         with pytest.raises(LPError):
             model.add_constraint([0, 1], 1, coefficients=[1.0])
+
+    def test_matrix_cache_invalidated_by_new_constraints(self):
+        model = LPModel(name="cached", num_variables=2)
+        model.add_constraint([0], 5)
+        a1, b1 = model.matrix()
+        assert model.matrix()[0] is a1  # cached object returned
+        model.add_constraint([1], 7)
+        a2, b2 = model.matrix()
+        assert a2.shape == (2, 2)
+        assert b2.tolist() == [5.0, 7.0]
+
+
+class TestSolverFallbackChain:
+    """The documented escalation: exact MILP first, continuous + L1 slack
+    when the model is too large, honest violation reporting when no exact
+    solution exists, and a hard error only in strict mode."""
+
+    def _person_model(self, person_task):
+        return formulate_view_lp(person_task).model
+
+    def test_milp_used_within_size_limit(self, person_task):
+        solution = LPSolver().solve(self._person_model(person_task))
+        assert solution.method == "milp"
+        assert solution.max_violation == 0.0
+
+    def test_size_limit_triggers_continuous_l1_path(self, person_task):
+        model = self._person_model(person_task)
+        solution = LPSolver(milp_variable_limit=model.num_variables - 1).solve(model)
+        assert solution.method == "linprog+l1"
+        # the relaxation is integral here, so rounding loses nothing
+        assert solution.max_violation == 0.0
+
+    def test_decomposition_recovers_milp_below_component_limit(self):
+        # The whole model exceeds the MILP size limit, but each connected
+        # component fits, so the parallel solver keeps the exact integral
+        # path where the serial solver has to fall back to the continuous one.
+        model = LPModel(name="blocks", num_variables=4)
+        model.add_constraint([0, 1], 10)
+        model.add_constraint([2, 3], 7)
+        serial = LPSolver(milp_variable_limit=3).solve(model)
+        assert serial.method == "linprog+l1"
+        parallel = ParallelLPSolver(workers=2, milp_variable_limit=3).solve(model)
+        assert "milp" in parallel.method
+        assert parallel.max_violation == 0.0
+
+    def test_violation_reported_not_dropped_on_rounded_solutions(self):
+        # sum of two variables = 7 with equal split forced by a consistency
+        # row is integrally infeasible only under conflicting rhs; use
+        # directly conflicting CCs to force non-zero slack.
+        model = LPModel(name="conflict", num_variables=2)
+        model.add_constraint([0, 1], 7)
+        model.add_constraint([0, 1], 9)
+        solution = LPSolver(prefer_integer=False).solve(model)
+        assert not solution.feasible
+        assert solution.max_violation >= 1.0  # surfaced, not silently dropped
+
+    def test_infeasible_cc_set_raises_in_strict_mode(self):
+        model = LPModel(name="conflict", num_variables=2)
+        model.add_constraint([0, 1], 7)
+        model.add_constraint([0, 1], 9)
+        with pytest.raises(InfeasibleLPError):
+            ParallelLPSolver(strict=True).solve(model)
+
+    def test_exabyte_scale_rhs_still_solved(self):
+        # Section 7.4 scales CCs to ~1e15 tuples; the continuous path must
+        # return a near-exact point (rescuing HiGHS via rhs normalisation if
+        # needed) instead of giving up.
+        model = LPModel(name="exabyte", num_variables=3)
+        model.add_constraint([0, 1], 4 * 10**14)
+        model.add_constraint([1, 2], 3 * 10**14)
+        solution = LPSolver(prefer_integer=False).solve(model)
+        assert solution.max_violation <= 10  # tuples, out of 4e14
+
+    def test_malformed_model_raises_infeasible_error(self):
+        # NaN right-hand side makes even the slack LP unsolvable, which is
+        # the "malformed model" branch of the continuous path.
+        model = LPModel(name="nan", num_variables=1)
+        model.add_constraint([0], 1)
+        model.constraints[0].rhs = float("nan")  # type: ignore[assignment]
+        model._matrix_cache = None
+        with pytest.raises(InfeasibleLPError):
+            LPSolver(prefer_integer=False).solve(model)

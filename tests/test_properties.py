@@ -1,0 +1,180 @@
+"""Seeded randomized property tests (pure ``random``/``numpy``).
+
+Two families of invariants guard the core of the pipeline:
+
+* **Partition invariants** — for random cardinality-constraint sets, the
+  region partition must consist of pairwise-disjoint boxes, cover the whole
+  domain, and label every region with exactly the constraints its points
+  satisfy (the defining property of the quotient partition, Definition 4.1).
+* **Generation invariants** — for random relation summaries, the vectorised
+  ``stream()`` path must reproduce ``materialize()`` column-for-column at
+  every batch size, including the degenerate ``1`` and the default-sized
+  ``65536``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.partition.region import optimal_partition
+from repro.predicates.conjunct import Conjunct
+from repro.predicates.dnf import DNFPredicate
+from repro.predicates.interval import Interval, IntervalSet
+from repro.summary.relation_summary import RelationSummary
+from repro.tuplegen.generator import TupleGenerator
+from repro.views.preprocess import ViewConstraint
+
+BATCH_SIZES = (1, 7, 65_536)
+
+
+# ---------------------------------------------------------------------- #
+# helpers
+# ---------------------------------------------------------------------- #
+def random_constraints(rng: random.Random, attributes: List[str],
+                       domains: Dict[str, Interval]) -> List[ViewConstraint]:
+    """Build 1-4 random conjunctive range constraints over the attributes."""
+    constraints: List[ViewConstraint] = []
+    for _ in range(rng.randint(1, 4)):
+        restrictions: Dict[str, IntervalSet] = {}
+        for attribute in attributes:
+            if rng.random() < 0.3:
+                continue  # leave the attribute unconstrained
+            domain = domains[attribute]
+            lo = rng.randint(domain.lo, domain.hi - 1)
+            hi = rng.randint(lo + 1, domain.hi)
+            restrictions[attribute] = IntervalSet.single(lo, hi)
+        predicate = (DNFPredicate.of(Conjunct(restrictions))
+                     if restrictions else DNFPredicate.true())
+        constraints.append(ViewConstraint(predicate=predicate,
+                                          cardinality=rng.randint(1, 1000)))
+    return constraints
+
+
+def point_satisfies(predicate: DNFPredicate, point: Dict[str, int]) -> bool:
+    """Ground-truth point evaluation of a DNF predicate."""
+    if predicate.is_true:
+        return True
+    return any(
+        all(values.contains(point[attr])
+            for attr, values in conjunct.constraints.items() if attr in point)
+        for conjunct in predicate.conjuncts
+    )
+
+
+# ---------------------------------------------------------------------- #
+# partition invariants
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", range(12))
+def test_partition_disjoint_covering_and_correctly_labelled(seed):
+    rng = random.Random(1000 + seed)
+    num_attributes = rng.randint(1, 2)
+    attributes = [f"a{i}" for i in range(num_attributes)]
+    domains = {
+        attribute: Interval(0, rng.choice([10, 25, 100]))
+        for attribute in attributes
+    }
+    constraints = random_constraints(rng, attributes, domains)
+    regions = optimal_partition(attributes, domains, constraints)
+
+    # disjoint: no two boxes (within or across regions) overlap
+    boxes = [box for region in regions for box in region.boxes]
+    for i in range(len(boxes)):
+        for j in range(i + 1, len(boxes)):
+            assert boxes[i].intersect(boxes[j]) is None, (seed, boxes[i], boxes[j])
+
+    # covering: volumes add up to the full domain volume
+    domain_volume = 1
+    for attribute in attributes:
+        domain_volume *= domains[attribute].width
+    assert sum(region.volume() for region in regions) == domain_volume
+
+    # labels are distinct per region
+    labels = [region.label for region in regions]
+    assert len(labels) == len(set(labels))
+
+    # label correctness at sampled points: the region's label must be exactly
+    # the set of constraints satisfied by each of its points
+    for region in regions:
+        for box in region.boxes:
+            samples = [box.corner()]
+            samples.append({a: box.interval(a).hi - 1 for a in attributes})
+            samples.append({
+                a: rng.randint(box.interval(a).lo, box.interval(a).hi - 1)
+                for a in attributes
+            })
+            for point in samples:
+                satisfied = frozenset(
+                    index for index, constraint in enumerate(constraints)
+                    if point_satisfies(constraint.predicate, point)
+                )
+                assert satisfied == region.label, (seed, point, region.label)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_partition_labels_cover_every_domain_point_once(seed):
+    """Every integer point of a small domain falls in exactly one region."""
+    rng = random.Random(2000 + seed)
+    attributes = ["x", "y"]
+    domains = {"x": Interval(0, 8), "y": Interval(0, 8)}
+    constraints = random_constraints(rng, attributes, domains)
+    regions = optimal_partition(attributes, domains, constraints)
+    for x in range(8):
+        for y in range(8):
+            hits = [
+                region for region in regions
+                if any(box.contains_point({"x": x, "y": y}) for box in region.boxes)
+            ]
+            assert len(hits) == 1, (seed, x, y)
+
+
+# ---------------------------------------------------------------------- #
+# generation invariants
+# ---------------------------------------------------------------------- #
+def random_summary(rng: np.random.Generator) -> RelationSummary:
+    num_columns = int(rng.integers(1, 4))
+    columns = tuple(f"c{i}" for i in range(num_columns))
+    num_rows = int(rng.integers(0, 30))
+    rows = []
+    for _ in range(num_rows):
+        values = tuple(int(v) for v in rng.integers(0, 1000, size=num_columns))
+        # occasional zero-count rows exercise the searchsorted boundaries
+        count = int(rng.integers(0, 500)) if rng.random() < 0.9 else 0
+        rows.append((values, count))
+    return RelationSummary(relation="rand", primary_key="pk",
+                           columns=columns, rows=rows)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_stream_equals_materialize_for_all_batch_sizes(seed):
+    rng = np.random.default_rng(3000 + seed)
+    summary = random_summary(rng)
+    generator = TupleGenerator(summary)
+    reference = generator.materialize()
+    assert reference.num_rows == summary.total_rows()
+    for batch_size in BATCH_SIZES:
+        batches = list(generator.stream(batch_size=batch_size))
+        assert sum(b.num_rows for b in batches) == reference.num_rows
+        for column in ("pk",) + summary.columns:
+            if batches:
+                streamed = np.concatenate([b.column(column) for b in batches])
+            else:
+                streamed = np.empty(0, dtype=np.int64)
+            assert np.array_equal(streamed, reference.column(column)), \
+                (seed, batch_size, column)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_table_from_stream_equals_materialize(seed):
+    rng = np.random.default_rng(4000 + seed)
+    summary = random_summary(rng)
+    generator = TupleGenerator(summary)
+    reference = generator.materialize()
+    for batch_size in BATCH_SIZES:
+        assembled = generator.table_from_stream(batch_size=batch_size)
+        assert assembled.num_rows == reference.num_rows
+        for column in ("pk",) + summary.columns:
+            assert np.array_equal(assembled.column(column), reference.column(column))

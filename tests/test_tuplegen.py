@@ -56,6 +56,26 @@ class TestTupleGenerator:
         streamed_pk = np.concatenate([b.column("S_pk") for b in batches])
         assert np.array_equal(streamed_pk, np.arange(1, 701))
 
+    def test_stream_equals_materialize_across_batch_sizes(self, sample_summary):
+        generator = TupleGenerator(sample_summary)
+        reference = generator.materialize()
+        for batch_size in (1, 7, 65_536):
+            batches = list(generator.stream(batch_size=batch_size))
+            for column in ("S_pk",) + sample_summary.columns:
+                streamed = np.concatenate([b.column(column) for b in batches])
+                assert np.array_equal(streamed, reference.column(column)), \
+                    (batch_size, column)
+
+    def test_generation_diagnostics_counters(self, sample_summary):
+        generator = TupleGenerator(sample_summary)
+        assert generator.full_materializations == 0
+        assert generator.batches_streamed == 0
+        list(generator.stream(batch_size=100))
+        assert generator.batches_streamed == 7
+        assert generator.full_materializations == 0
+        generator.materialize()
+        assert generator.full_materializations == 1
+
     def test_stream_requires_positive_batch(self, sample_summary):
         with pytest.raises(GenerationError):
             list(TupleGenerator(sample_summary).stream(batch_size=0))
@@ -87,6 +107,42 @@ class TestDatabaseMaterialisation:
         table = db.table("R")
         assert table.num_rows == 80_000
         assert not db.is_dynamic("R")
+
+    def test_dynamic_database_never_materializes_eagerly(self, toy_schema, monkeypatch):
+        """The dynamic path must be served by the batched ``stream()`` path:
+        no full one-shot materialisation may happen, before or after the
+        first scan."""
+        def forbidden(self):
+            raise AssertionError("dynamic database called materialize()")
+
+        monkeypatch.setattr(TupleGenerator, "materialize", forbidden)
+        db = dynamic_database(self._summary(toy_schema), toy_schema,
+                              batch_size=4096)
+        assert all(db.is_dynamic(name) for name in ("R", "S", "T"))
+        # first scan generates via stream batches, never materialize()
+        assert db.table("R").num_rows == 80_000
+        assert db.table("S").num_rows == 700
+
+    def test_dynamic_database_scan_batches_bounded(self, toy_schema):
+        db = dynamic_database(self._summary(toy_schema), toy_schema,
+                              batch_size=1000)
+        seen = 0
+        for batch in db.scan_batches("R"):
+            assert batch.num_rows <= 1000
+            seen += batch.num_rows
+        assert seen == 80_000
+        # batch scanning alone must not materialise the relation
+        assert db.is_dynamic("R")
+
+    def test_dynamic_database_matches_materialized(self, toy_schema):
+        summary = self._summary(toy_schema)
+        dynamic = dynamic_database(summary, toy_schema, batch_size=777)
+        materialized = materialize_database(summary, toy_schema)
+        for relation in ("R", "S", "T"):
+            left, right = dynamic.table(relation), materialized.table(relation)
+            assert left.num_rows == right.num_rows
+            for column in left.column_names:
+                assert np.array_equal(left.column(column), right.column(column))
 
 
 @given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 200)), min_size=1, max_size=20))
