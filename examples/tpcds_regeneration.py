@@ -10,11 +10,14 @@ Run with:  python examples/tpcds_regeneration.py
 
 from __future__ import annotations
 
+import tempfile
 import time
+from pathlib import Path
 
 from repro import (
     DataSynth,
     Hydra,
+    SummaryStore,
     compare_lp_sizes,
     complex_workload,
     evaluate_on_database,
@@ -40,10 +43,22 @@ def main() -> None:
     package_c = extract_constraints(client_db, wlc)
     print(f"\nWLc: {len(wlc)} queries -> {len(package_c.constraints)} cardinality constraints")
 
+    store = SummaryStore(Path(tempfile.mkdtemp(prefix="hydra-store-")) / "store")
     started = time.perf_counter()
-    hydra_result = Hydra(schema).build_summary(package_c.constraints)
+    hydra_result = Hydra(schema, store=store).build_summary(package_c.constraints)
     print(f"Hydra summary built in {time.perf_counter() - started:.1f}s "
           f"({hydra_result.summary.nbytes():,} bytes)")
+    counters = hydra_result.cache_counters()
+    print(f"  LP component cache: {counters['hits']} hits / {counters['misses']} misses; "
+          f"store now {counters['store_bytes']:,} bytes on disk")
+
+    # A second build of the same workload — e.g. another worker process of a
+    # serving fleet mounting the same store — skips the pipeline entirely.
+    started = time.perf_counter()
+    warm = Hydra(schema, store=SummaryStore(store.root)).build_summary(package_c.constraints)
+    warm_counters = warm.cache_counters()
+    print(f"  Warm rebuild from store: summary_store_hits={warm_counters['summary_store_hits']}, "
+          f"zero LP solves, {time.perf_counter() - started:.3f}s")
 
     comparison = compare_lp_sizes(schema, package_c.constraints)
     print("\nLP variables per relation (region vs grid partitioning):")

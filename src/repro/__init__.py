@@ -44,6 +44,12 @@ from repro.metrics import (
 )
 from repro.predicates import Conjunct, DNFPredicate, Interval, IntervalSet, col
 from repro.schema import Attribute, ForeignKey, Relation, Schema
+from repro.service import (
+    RegenerationService,
+    SummaryStore,
+    Ticket,
+    workload_fingerprint,
+)
 from repro.summary import DatabaseSummary, RelationSummary
 from repro.tuplegen import TupleGenerator, dynamic_database, materialize_database
 from repro.workload import Query, Workload, WorkloadGenerator, WorkloadProfile
@@ -97,6 +103,11 @@ __all__ = [
     "TupleGenerator",
     "materialize_database",
     "dynamic_database",
+    # serving
+    "RegenerationService",
+    "Ticket",
+    "SummaryStore",
+    "workload_fingerprint",
     # metrics
     "SimilarityReport",
     "evaluate_on_database",

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # runtime import would create a service<->pipeline cycle
+    from repro.service.store import SummaryStore
 
 import numpy as np
 
@@ -96,11 +99,20 @@ class DataSynthResult:
 
 
 class DataSynth:
-    """The DataSynth baseline regenerator."""
+    """The DataSynth baseline regenerator.
 
-    def __init__(self, schema: Schema, config: Optional[DataSynthConfig] = None) -> None:
+    ``store`` optionally backs the LP component-solution cache with a
+    :class:`~repro.service.store.SummaryStore`, so repeated baseline runs
+    (and other processes mounting the same store) skip already-solved
+    components.  DataSynth materialises full instances rather than summaries,
+    so — unlike Hydra — there is no whole-result fast path.
+    """
+
+    def __init__(self, schema: Schema, config: Optional[DataSynthConfig] = None,
+                 store: Optional["SummaryStore"] = None) -> None:
         self.schema = schema
         self.config = config or DataSynthConfig()
+        self.store = store
         self.preprocessor = Preprocessor(schema)
         # DataSynth works with a continuous LP solution (the sampling step
         # does not need integrality).
@@ -109,6 +121,10 @@ class DataSynth:
             cache_size=self.config.cache_size,
             prefer_integer=False,
             time_limit=self.config.time_limit,
+            cache_backend=(
+                store.solution_cache(self.config.cache_size) if store is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------ #

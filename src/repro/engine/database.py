@@ -33,6 +33,9 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._lazy: Dict[str, Callable[[], Table]] = {}
         self._streams: Dict[str, Callable[[], Iterator[Table]]] = {}
+        #: Declared total rows of stream-attached relations (see
+        #: :meth:`attach_stream`); lets :meth:`row_count` answer for free.
+        self._stream_rows: Dict[str, int] = {}
         for rel_name, table in (tables or {}).items():
             self.attach(rel_name, table)
 
@@ -64,7 +67,8 @@ class Database:
         self._streams.pop(relation, None)
 
     def attach_stream(self, relation: str,
-                      stream_factory: Callable[[], Iterator[Table]]) -> None:
+                      stream_factory: Callable[[], Iterator[Table]],
+                      row_count: Optional[int] = None) -> None:
         """Register a batch-streaming source for ``relation``.
 
         ``stream_factory`` is a zero-argument callable returning a fresh
@@ -72,9 +76,18 @@ class Database:
         relation is scanned; :meth:`scan_batches` consumes batches one at a
         time (bounded memory), and :meth:`table` concatenates a full pass and
         caches the result for subsequent whole-table access.
+
+        ``row_count`` declares the stream's total rows when the source knows
+        it up front (a tuple generator always does): :meth:`row_count` then
+        answers without consuming a stream pass — essential when the stream
+        expands a scale-free summary to billions of tuples.
         """
         self.schema.relation(relation)
         self._streams[relation] = stream_factory
+        if row_count is not None:
+            self._stream_rows[relation] = int(row_count)
+        else:
+            self._stream_rows.pop(relation, None)
         self._tables.pop(relation, None)
         self._lazy.pop(relation, None)
 
@@ -136,9 +149,28 @@ class Database:
     # ------------------------------------------------------------------ #
     # statistics
     # ------------------------------------------------------------------ #
+    def row_count(self, relation: str) -> int:
+        """Return the number of rows of one attached relation.
+
+        Stream-attached relations answer from their declared row count when
+        the source provided one, and are otherwise counted by consuming a
+        batch stream pass (bounded memory) *without* materialising or caching
+        the full table — either way counting does not defeat dynamic
+        generation.
+        """
+        if relation in self._tables:
+            return self._tables[relation].num_rows
+        if relation in self._streams:
+            declared = self._stream_rows.get(relation)
+            if declared is not None:
+                return declared
+            return sum(batch.num_rows for batch in self._streams[relation]())
+        return self.table(relation).num_rows  # plain dynamic, or raises
+
     def row_counts(self) -> Dict[str, int]:
-        """Return the number of rows per attached (materialised) relation."""
-        return {name: self.table(name).num_rows for name in self.relations}
+        """Return the number of rows per attached relation (materialised,
+        dynamic or stream-attached)."""
+        return {name: self.row_count(name) for name in self.relations}
 
     def total_rows(self) -> int:
         """Total rows across all attached relations."""

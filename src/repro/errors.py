@@ -68,3 +68,13 @@ class EngineError(ReproError):
 
 class WorkloadError(ReproError):
     """A query or workload is malformed with respect to the schema."""
+
+
+class ServiceError(ReproError):
+    """The regeneration service hit an unexpected state (unknown
+    fingerprint, submission after shutdown, ...)."""
+
+
+class SummaryStoreError(ServiceError):
+    """A summary store is unreadable: unknown format version, corrupted or
+    partially written entry files, or a missing store directory."""

@@ -39,8 +39,12 @@ def extract_constraints(database: Database, workload: Workload,
     workload.validate(database.schema)
     executor = Executor(database)
     plans = executor.execute_workload(workload)
-    row_counts = {rel: database.table(rel).num_rows for rel in workload.relations()
-                  if database.has_table(rel)}
+    # Collect row counts over every attached relation the workload touches —
+    # including stream-attached (lazy) relations, which ``Database.relations``
+    # covers and ``row_count`` counts without materialising them.
+    touched = set(workload.relations())
+    row_counts = {rel: database.row_count(rel)
+                  for rel in database.relations if rel in touched}
     constraints = constraints_from_plans(
         plans, database.schema, row_counts=row_counts,
         include_sizes=include_sizes, name=name,

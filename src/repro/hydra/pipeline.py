@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a service<->hydra cycle
+    from repro.service.store import SummaryStore
 
 from repro.constraints.workload import ConstraintSet
 from repro.errors import LPTooLargeError
@@ -136,13 +139,39 @@ class HydraResult:
             return formulate + self.lp_wall_seconds
         return formulate + sum(r.solve_seconds for r in self.view_reports.values())
 
+    def cache_counters(self) -> Dict[str, int]:
+        """Cache/serving counters of this build: LP component cache hits and
+        misses, whether the whole summary came from a store, and the store's
+        on-disk footprint (zero when no store is attached)."""
+        return {
+            "hits": int(self.solver_stats.get("cache_hits", 0)),
+            "misses": int(self.solver_stats.get("cache_misses", 0)),
+            "summary_store_hits": int(self.solver_stats.get("summary_store_hits", 0)),
+            "store_bytes": int(self.solver_stats.get("store_bytes", 0)),
+        }
+
 
 class Hydra:
-    """The Hydra data regenerator."""
+    """The Hydra data regenerator.
 
-    def __init__(self, schema: Schema, config: Optional[HydraConfig] = None) -> None:
+    Parameters
+    ----------
+    schema / config:
+        The client schema and tuning knobs.
+    store:
+        Optional :class:`~repro.service.store.SummaryStore`.  When given,
+        builds whose ``(schema, constraints, relations)`` fingerprint is
+        already stored skip the whole pipeline (zero LP solves), fresh builds
+        are persisted, and the solver's component-solution cache is backed by
+        the store so solutions survive restarts and are shared across worker
+        processes.
+    """
+
+    def __init__(self, schema: Schema, config: Optional[HydraConfig] = None,
+                 store: Optional["SummaryStore"] = None) -> None:
         self.schema = schema
         self.config = config or HydraConfig()
+        self.store = store
         self.preprocessor = Preprocessor(schema)
         self.solver = ParallelLPSolver(
             workers=self.config.workers,
@@ -151,11 +180,37 @@ class Hydra:
             milp_variable_limit=self.config.milp_variable_limit,
             time_limit=self.config.time_limit,
             use_processes=self.config.use_processes,
+            cache_backend=(
+                store.solution_cache(self.config.cache_size) if store is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+    def request_fingerprint(self, ccs: ConstraintSet,
+                            relations: Optional[Sequence[str]] = None) -> str:
+        """The store fingerprint of one build request.
+
+        Includes the result-affecting configuration knobs (strategy,
+        integrality, size/time limits) so a store shared between
+        differently-configured pipelines never serves one configuration's
+        summary as another's; performance knobs (``workers``, ``cache_size``,
+        ``use_processes``) do not change the result and are excluded.
+        """
+        from repro.service.fingerprint import workload_fingerprint
+
+        config = self.config
+        return workload_fingerprint(
+            self.schema, ccs, relations=relations,
+            profile=[
+                "hydra", config.strategy, config.prefer_integer,
+                config.milp_variable_limit, config.time_limit,
+                config.max_grid_variables, config.max_region_variables,
+            ],
+        )
+
     def build_summary(self, ccs: ConstraintSet,
                       relations: Optional[Sequence[str]] = None) -> HydraResult:
         """Run the full vendor-side pipeline and return the database summary.
@@ -170,6 +225,23 @@ class Hydra:
             summary carrying their nominal row count).
         """
         started = time.perf_counter()
+        fingerprint: Optional[str] = None
+        if self.store is not None:
+            fingerprint = self.request_fingerprint(ccs, relations)
+            cached = self.store.get_summary(fingerprint)
+            if cached is not None:
+                return HydraResult(
+                    summary=cached,
+                    total_seconds=time.perf_counter() - started,
+                    solver_stats={
+                        "components_solved": 0,
+                        "cache_hits": 0,
+                        "cache_misses": 0,
+                        "lp_wall_seconds": 0.0,
+                        "summary_store_hits": 1,
+                        "store_bytes": self.store.store_bytes(),
+                    },
+                )
         names = list(relations) if relations is not None else list(self.schema.relation_names)
         by_relation = ccs.by_relation()
 
@@ -248,19 +320,31 @@ class Hydra:
             "merge_seconds": sum(r.merge_seconds for r in reports.values()),
         }
         # Stats are reported as this build's deltas (the solver object — and
-        # its cache — lives across builds).
+        # its cache — lives across builds).  The counters themselves are
+        # race-free, but when several builds share one Hydra concurrently
+        # (RegenerationService with max_workers > 1) the attribution is
+        # best-effort: a delta may include a concurrent build's solves.
         stats = self.solver.stats
+        solver_stats = {
+            "components_solved": stats.components_solved - stats_before[0],
+            "cache_hits": stats.cache_hits - stats_before[1],
+            "cache_misses": stats.cache_misses - stats_before[2],
+            "lp_wall_seconds": lp_wall_seconds,
+        }
+        if self.store is not None and fingerprint is not None:
+            self.store.put_summary(fingerprint, summary, meta={
+                "schema": self.schema.name,
+                "constraints": len(ccs),
+                "relations": len(names),
+            })
+            solver_stats["summary_store_hits"] = 0
+            solver_stats["store_bytes"] = self.store.store_bytes()
         return HydraResult(
             summary=summary,
             view_reports=reports,
             total_seconds=time.perf_counter() - started,
             lp_wall_seconds=lp_wall_seconds,
-            solver_stats={
-                "components_solved": stats.components_solved - stats_before[0],
-                "cache_hits": stats.cache_hits - stats_before[1],
-                "cache_misses": stats.cache_misses - stats_before[2],
-                "lp_wall_seconds": lp_wall_seconds,
-            },
+            solver_stats=solver_stats,
         )
 
     def count_lp_variables(self, ccs: ConstraintSet,

@@ -16,6 +16,7 @@ will do.  This module substitutes Z3 with:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import OrderedDict
@@ -224,6 +225,79 @@ class SolverStats:
     timings: TimingLog = field(default_factory=TimingLog)
 
 
+class SolutionCache:
+    """Interface of a component-solution cache backend.
+
+    :class:`ParallelLPSolver` talks to its cache exclusively through this
+    interface, so the default in-process LRU can be swapped for a persistent
+    backend (e.g. :class:`repro.service.store.StoreSolutionCache`, which
+    shares solutions across worker processes through a summary store).
+    Implementations must be thread-safe: the solver calls ``get``/``put``
+    concurrently from its worker threads.
+    """
+
+    #: Maximum number of entries, or ``None`` when unbounded / not applicable.
+    capacity: Optional[int] = None
+
+    def get(self, key: str) -> Optional[LPSolution]:
+        """Return the cached solution for ``key``, or ``None`` on a miss."""
+        raise NotImplementedError
+
+    def put(self, key: str, solution: LPSolution) -> None:
+        """Store a solution under ``key``."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop all cached solutions."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class LRUSolutionCache(SolutionCache):
+    """The default backend: a thread-safe in-process LRU.
+
+    ``capacity=None`` disables eviction (unbounded); the summary store's
+    memory-only mode relies on that, since evicting there would lose data.
+    """
+
+    def __init__(self, capacity: Optional[int]) -> None:
+        if capacity is not None and capacity < 1:
+            raise LPError("LRUSolutionCache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, LPSolution]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> Optional[LPSolution]:
+        with self._lock:
+            solution = self._entries.get(key)
+            if solution is not None:
+                self._entries.move_to_end(key)
+            return solution
+
+    def put(self, key: str, solution: LPSolution) -> None:
+        with self._lock:
+            self._entries[key] = solution
+            self._entries.move_to_end(key)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+
+    def keys(self) -> List[str]:
+        """Current keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class ParallelLPSolver:
     """Decomposing, caching, parallel feasibility solver.
 
@@ -255,6 +329,12 @@ class ParallelLPSolver:
         Solve components on a process pool instead of a thread pool.  Worth
         it only when single components are large enough to amortise the
         pickling and worker start-up cost.
+    cache_backend:
+        Custom :class:`SolutionCache` implementation.  When given it takes
+        precedence over ``cache_size`` (which then only serves as the
+        documented default-backend capacity); pass a
+        :class:`repro.service.store.StoreSolutionCache` to persist and share
+        component solutions across processes.
     """
 
     def __init__(self, workers: int = DEFAULT_WORKERS,
@@ -263,7 +343,8 @@ class ParallelLPSolver:
                  milp_variable_limit: int = DEFAULT_MILP_VARIABLE_LIMIT,
                  time_limit: Optional[float] = DEFAULT_MILP_TIME_LIMIT,
                  strict: bool = False,
-                 use_processes: bool = False) -> None:
+                 use_processes: bool = False,
+                 cache_backend: Optional[SolutionCache] = None) -> None:
         if workers < 1:
             raise LPError("ParallelLPSolver needs at least one worker")
         if cache_size < 0:
@@ -276,8 +357,21 @@ class ParallelLPSolver:
         self.strict = strict
         self.use_processes = use_processes
         self.stats = SolverStats()
-        self._cache: "OrderedDict[str, LPSolution]" = OrderedDict()
-        self._cache_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        if cache_backend is not None:
+            self._cache: Optional[SolutionCache] = cache_backend
+        elif cache_size > 0:
+            self._cache = LRUSolutionCache(cache_size)
+        else:
+            self._cache = None
+        # Cache keys carry a namespace derived from every knob that changes
+        # what a solve produces: a persistent backend may be shared between
+        # solvers with different configurations (e.g. Hydra's exact-MILP path
+        # and DataSynth's continuous path), and serving one's solution to the
+        # other would silently change results.
+        self._cache_namespace = hashlib.sha256(repr(
+            (prefer_integer, milp_variable_limit, time_limit)
+        ).encode("utf-8")).hexdigest()[:12]
 
     # ------------------------------------------------------------------ #
     # public API
@@ -310,25 +404,30 @@ class ParallelLPSolver:
                         f" {stitched.max_violation:g} after decomposed solve"
                     )
                 solutions.append(stitched)
-        self.stats.models_solved += len(models)
+        with self._stats_lock:
+            self.stats.models_solved += len(models)
         self.stats.timings.record("wall", time.perf_counter() - started)
         return solutions
 
     @property
     def cache_info(self) -> Dict[str, int]:
         """Current cache occupancy and hit/miss counters."""
-        with self._cache_lock:
+        if self._cache is None:
+            size, capacity = 0, 0
+        else:
             size = len(self._cache)
+            capacity = self._cache.capacity if self._cache.capacity is not None \
+                else self.cache_size
         return {
             "size": size,
-            "capacity": self.cache_size,
+            "capacity": capacity,
             "hits": self.stats.cache_hits,
             "misses": self.stats.cache_misses,
         }
 
     def clear_cache(self) -> None:
         """Drop all cached component solutions."""
-        with self._cache_lock:
+        if self._cache is not None:
             self._cache.clear()
 
     # ------------------------------------------------------------------ #
@@ -342,7 +441,7 @@ class ParallelLPSolver:
         resolved: Dict[str, LPSolution] = {}
         for decomposition in decompositions:
             for component in decomposition.components:
-                key = component.key
+                key = self._cache_key(component)
                 if key in resolved or key in pending:
                     continue
                 cached = self._cache_get(key)
@@ -354,18 +453,34 @@ class ParallelLPSolver:
                     pending[key] = component
 
         if not pending:
-            return resolved
-        components = list(pending.values())
+            return self._by_component_key(decompositions, resolved)
+        items = list(pending.items())
+        components = [component for _, component in items]
         with self.stats.timings.time("solve") as _:
             if self.workers > 1 and len(components) > 1:
                 results = self._solve_pool(components)
             else:
                 results = [self._solve_one(c.model) for c in components]
-        for component, solution in zip(components, results):
-            resolved[component.key] = solution
-            self._cache_put(component.key, solution)
-        self.stats.components_solved += len(components)
-        return resolved
+        for (key, _component), solution in zip(items, results):
+            resolved[key] = solution
+            self._cache_put(key, solution)
+        with self._stats_lock:
+            self.stats.components_solved += len(components)
+        return self._by_component_key(decompositions, resolved)
+
+    def _cache_key(self, component: LPComponent) -> str:
+        """Content key of a component, namespaced by the solver config."""
+        return f"{component.key}-{self._cache_namespace}"
+
+    def _by_component_key(self, decompositions: Sequence[Decomposition],
+                          resolved: Dict[str, LPSolution]) -> Dict[str, LPSolution]:
+        """Re-key resolved solutions by the raw component hash (the key the
+        stitching loop looks components up under)."""
+        return {
+            component.key: resolved[self._cache_key(component)]
+            for decomposition in decompositions
+            for component in decomposition.components
+        }
 
     def _solve_pool(self, components: Sequence[LPComponent]) -> List[LPSolution]:
         jobs = [(c.model, self.prefer_integer, self.milp_variable_limit,
@@ -381,26 +496,17 @@ class ParallelLPSolver:
         )
 
     # ------------------------------------------------------------------ #
-    # LRU cache
+    # cache plumbing (delegates to the pluggable backend)
     # ------------------------------------------------------------------ #
     def _cache_get(self, key: str) -> Optional[LPSolution]:
-        if self.cache_size == 0:
-            self.stats.cache_misses += 1
-            return None
-        with self._cache_lock:
-            solution = self._cache.get(key)
+        solution = self._cache.get(key) if self._cache is not None else None
+        with self._stats_lock:
             if solution is None:
                 self.stats.cache_misses += 1
-                return None
-            self._cache.move_to_end(key)
-            self.stats.cache_hits += 1
-            return solution
+            else:
+                self.stats.cache_hits += 1
+        return solution
 
     def _cache_put(self, key: str, solution: LPSolution) -> None:
-        if self.cache_size == 0:
-            return
-        with self._cache_lock:
-            self._cache[key] = solution
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+        if self._cache is not None:
+            self._cache.put(key, solution)

@@ -1,0 +1,38 @@
+"""The regeneration service layer (serving-fleet scenario).
+
+Hydra's database summaries are kilobyte-scale and *scale-free*: once built,
+they can regenerate arbitrary data volumes on demand.  This package turns the
+one-shot pipeline into a reusable serving system:
+
+* :mod:`repro.service.fingerprint` — canonical content fingerprints of
+  ``(schema, constraint set)`` pairs, stable under column / constraint
+  reordering, used as the identity of a regeneration request;
+* :mod:`repro.service.store` — :class:`SummaryStore`, content-addressed
+  on-disk persistence for database summaries and LP component solutions with
+  atomic writes and an LRU-bounded in-memory layer, shareable across worker
+  processes;
+* :mod:`repro.service.service` — :class:`RegenerationService`, a concurrent
+  front-end (``submit``/``summarize``/``stream``/``stats``) that deduplicates
+  identical in-flight requests and serves warm requests straight from the
+  store without touching the LP solver;
+* :mod:`repro.service.cli` — ``python -m repro.service`` to warm, inspect and
+  serve a store from the command line.
+"""
+
+from repro.service.fingerprint import (
+    constraint_set_fingerprint,
+    schema_fingerprint,
+    workload_fingerprint,
+)
+from repro.service.service import RegenerationService, Ticket
+from repro.service.store import StoreSolutionCache, SummaryStore
+
+__all__ = [
+    "RegenerationService",
+    "Ticket",
+    "SummaryStore",
+    "StoreSolutionCache",
+    "workload_fingerprint",
+    "schema_fingerprint",
+    "constraint_set_fingerprint",
+]

@@ -1,0 +1,270 @@
+"""The concurrent regeneration serving front-end.
+
+:class:`RegenerationService` sits in front of the Hydra pipeline and a
+:class:`~repro.service.store.SummaryStore` and turns one-shot summary builds
+into a request/serve loop:
+
+* ``submit(workload)`` returns a :class:`Ticket` immediately; identical
+  requests already in flight are *single-flighted* — they attach to the
+  running build instead of triggering a second pipeline run;
+* warm requests (fingerprint already in the store) never touch the LP
+  solver: the summary is read from the store's memory/disk layers;
+* ``stream(...)`` hands out vectorised tuple batches for any relation of a
+  regenerated database; many consumers can stream concurrently, each with an
+  independent cursor, optionally over disjoint row shards;
+* ``stats()`` exposes the serving counters (hits, misses, inflight dedups,
+  pipeline runs, store bytes) the fleet scenario monitors.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.constraints.workload import ConstraintSet
+from repro.engine.table import Table
+from repro.errors import ServiceError
+from repro.hydra.pipeline import Hydra, HydraConfig
+from repro.schema.schema import Schema
+from repro.service.store import SummaryStore
+from repro.summary.relation_summary import DatabaseSummary
+from repro.tuplegen.generator import DEFAULT_BATCH_SIZE, TupleGenerator
+
+
+class _Flight:
+    """One in-progress (or finished) summary build."""
+
+    __slots__ = ("event", "summary", "error", "warm")
+
+    def __init__(self, summary: Optional[DatabaseSummary] = None,
+                 warm: bool = False) -> None:
+        self.event = threading.Event()
+        self.summary = summary
+        self.error: Optional[BaseException] = None
+        self.warm = warm
+        if summary is not None:
+            self.event.set()
+
+
+class Ticket:
+    """Handle for a submitted regeneration request."""
+
+    def __init__(self, fingerprint: str, flight: _Flight) -> None:
+        self.fingerprint = fingerprint
+        self._flight = flight
+
+    @property
+    def warm(self) -> bool:
+        """``True`` when the request was served from the store."""
+        return self._flight.warm
+
+    def done(self) -> bool:
+        """``True`` once the summary is available (or the build failed)."""
+        return self._flight.event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> DatabaseSummary:
+        """Block until the summary is ready and return it."""
+        if not self._flight.event.wait(timeout):
+            raise ServiceError(
+                f"request {self.fingerprint[:12]} did not finish within {timeout}s"
+            )
+        if self._flight.error is not None:
+            raise self._flight.error
+        assert self._flight.summary is not None
+        return self._flight.summary
+
+
+class RegenerationService:
+    """Concurrent serving front-end over a summary store.
+
+    Parameters
+    ----------
+    schema:
+        The (anonymised) client schema requests are validated against.
+    store:
+        A :class:`SummaryStore`, a directory path to open one at, or ``None``
+        for an ephemeral memory-only store.
+    config:
+        Hydra tuning knobs for cold builds.
+    max_workers:
+        Concurrent cold pipeline builds (warm requests and streaming never
+        occupy a worker).
+    """
+
+    def __init__(self, schema: Schema,
+                 store: Union[SummaryStore, str, Path, None] = None,
+                 config: Optional[HydraConfig] = None,
+                 max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise ServiceError("RegenerationService needs at least one worker")
+        self.schema = schema
+        self.store = store if isinstance(store, SummaryStore) else SummaryStore(store)
+        self.hydra = Hydra(schema, config, store=self.store)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="regen"
+        )
+        self._lock = threading.Lock()
+        self._flights: Dict[str, _Flight] = {}
+        self._generators: Dict[Tuple[str, str], TupleGenerator] = {}
+        self._counters = {
+            "requests": 0,
+            "hits": 0,            # served warm (store, no pipeline)
+            "misses": 0,          # cold: triggered a pipeline run
+            "inflight_dedup": 0,  # attached to an identical in-flight build
+            "pipeline_runs": 0,
+            "batches_streamed": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # request front-end
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, workload: ConstraintSet,
+                    relations: Optional[Sequence[str]] = None) -> str:
+        """The content fingerprint this service assigns to a request.
+
+        Delegates to the pipeline so the service's dedup/warm detection and
+        the store entries Hydra writes always agree (the fingerprint covers
+        the result-affecting pipeline configuration, not just the workload).
+        """
+        return self.hydra.request_fingerprint(workload, relations)
+
+    def submit(self, workload: ConstraintSet,
+               relations: Optional[Sequence[str]] = None) -> Ticket:
+        """Submit a regeneration request; returns a ticket immediately.
+
+        Warm requests resolve synchronously from the store.  Cold requests
+        start one pipeline build on the worker pool; identical requests
+        submitted while it runs share that single build (single-flight).
+        """
+        fingerprint = self.fingerprint(workload, relations)
+        with self._lock:
+            self._counters["requests"] += 1
+            flight = self._flights.get(fingerprint)
+            if flight is not None:
+                self._counters["inflight_dedup"] += 1
+                return Ticket(fingerprint, flight)
+        # The store lookup may hit disk (gzip + JSON decode); keep it outside
+        # the lock so concurrent streamers are never stalled behind it, then
+        # re-check for a flight that appeared meanwhile.
+        summary = self.store.get_summary(fingerprint)
+        with self._lock:
+            flight = self._flights.get(fingerprint)
+            if flight is not None:
+                self._counters["inflight_dedup"] += 1
+                return Ticket(fingerprint, flight)
+            if summary is not None:
+                self._counters["hits"] += 1
+                return Ticket(fingerprint, _Flight(summary, warm=True))
+            self._counters["misses"] += 1
+            flight = _Flight()
+            self._flights[fingerprint] = flight
+        self._executor.submit(self._build, fingerprint, workload, relations, flight)
+        return Ticket(fingerprint, flight)
+
+    def summarize(self, workload: ConstraintSet,
+                  relations: Optional[Sequence[str]] = None,
+                  timeout: Optional[float] = None) -> DatabaseSummary:
+        """Blocking convenience wrapper: submit and wait for the summary."""
+        return self.submit(workload, relations).result(timeout)
+
+    def _build(self, fingerprint: str, workload: ConstraintSet,
+               relations: Optional[Sequence[str]], flight: _Flight) -> None:
+        try:
+            with self._lock:
+                self._counters["pipeline_runs"] += 1
+            result = self.hydra.build_summary(workload, relations)
+            flight.summary = result.summary
+        except BaseException as error:  # surfaced to every waiter
+            flight.error = error
+        finally:
+            flight.event.set()
+            with self._lock:
+                self._flights.pop(fingerprint, None)
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+    def stream(self, request: Union[ConstraintSet, str], relation: str,
+               batch_size: int = DEFAULT_BATCH_SIZE,
+               start_row: int = 1, stop_row: Optional[int] = None,
+               timeout: Optional[float] = None) -> Iterator[Table]:
+        """Stream a relation of a regenerated database in columnar batches.
+
+        ``request`` is either a constraint set (resolved — warm or cold — via
+        :meth:`submit`) or a fingerprint string of a previously-seen workload
+        (store-only: raises :class:`ServiceError` when unknown, never runs
+        the pipeline).  Resolution happens eagerly — an unknown fingerprint
+        or a failed build raises at the call site, not at first iteration.
+        Each call returns an independent cursor; concurrent consumers can
+        shard a relation with ``start_row``/``stop_row``.
+        """
+        if isinstance(request, str):
+            fingerprint = request
+            summary = self.store.get_summary(fingerprint)
+            if summary is None:
+                raise ServiceError(
+                    f"no stored summary for fingerprint {fingerprint[:12]}…;"
+                    " submit the workload first"
+                )
+        else:
+            ticket = self.submit(request)
+            fingerprint = ticket.fingerprint
+            summary = ticket.result(timeout)
+        generator = self._generator(fingerprint, relation, summary)
+        batches = generator.stream_range(start_row, stop_row, batch_size=batch_size)
+
+        def cursor() -> Iterator[Table]:
+            for batch in batches:
+                with self._lock:
+                    self._counters["batches_streamed"] += 1
+                yield batch
+
+        return cursor()
+
+    def total_rows(self, request: Union[ConstraintSet, str], relation: str) -> int:
+        """Rows the given relation regenerates to (without generating)."""
+        if isinstance(request, str):
+            summary = self.store.get_summary(request)
+            if summary is None:
+                raise ServiceError(f"no stored summary for fingerprint {request[:12]}…")
+        else:
+            summary = self.summarize(request)
+        return summary.relation(relation).total_rows()
+
+    def _generator(self, fingerprint: str, relation: str,
+                   summary: DatabaseSummary) -> TupleGenerator:
+        key = (fingerprint, relation)
+        with self._lock:
+            generator = self._generators.get(key)
+            if generator is None:
+                generator = TupleGenerator(summary.relation(relation))
+                self._generators[key] = generator
+            return generator
+
+    # ------------------------------------------------------------------ #
+    # observability / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Serving counters plus the store's and LP solver's own counters."""
+        with self._lock:
+            counters = dict(self._counters)
+        solver = self.hydra.solver.stats
+        counters.update({
+            "solver_components_solved": solver.components_solved,
+            "solver_cache_hits": solver.cache_hits,
+            "solver_cache_misses": solver.cache_misses,
+        })
+        counters.update(self.store.counters())
+        return counters
+
+    def close(self) -> None:
+        """Finish in-flight builds and release the worker pool."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "RegenerationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,373 @@
+"""Content-addressed persistence for database summaries and LP solutions.
+
+A :class:`SummaryStore` is the durable half of the serving scenario: one
+process builds a summary (paying the LP solves), every other process — and
+every later restart — serves it straight from disk.  Layout, rooted at the
+store directory::
+
+    <root>/
+      store.json                      format marker {"format": 1}
+      summaries/<fp[:2]>/<fp>.json.gz one entry per workload fingerprint
+      components/<k[:2]>/<k>.json.gz  one entry per LP component solution
+
+Entries are gzipped JSON written atomically (temp file + ``os.replace``), so
+a crashed writer can never leave a half-visible entry, and concurrent writers
+of the same content-addressed entry are idempotent.  Corrupted or partially
+written files are detected on read (gzip CRC, JSON parse, payload shape and
+fingerprint echo) and rejected with :class:`~repro.errors.SummaryStoreError`
+on the strict path or treated as misses on the serving path.
+
+Reads go through an LRU-bounded in-memory layer, so a serving process pays
+the disk round-trip once per hot entry.  A store with ``root=None`` keeps the
+same interface but lives purely in memory (useful for tests and ephemeral
+services).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SummaryStoreError
+from repro.lp.model import LPSolution
+from repro.lp.solver import LRUSolutionCache, SolutionCache
+from repro.summary.relation_summary import DatabaseSummary
+
+#: On-disk format version; bump on incompatible layout/payload changes.
+STORE_FORMAT = 1
+
+#: Default capacity of the in-memory summary layer of a disk-backed store.
+DEFAULT_MEMORY_ENTRIES = 64
+
+#: Default capacity of the in-memory layer of :class:`StoreSolutionCache`.
+DEFAULT_COMPONENT_MEMORY = 256
+
+
+class SummaryStore:
+    """Persistent, content-addressed store of regeneration artefacts.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing), or ``None`` for a memory-only
+        store with the same interface.
+    memory_entries:
+        Capacity of the in-memory summary layer.  Ignored (unbounded) when
+        ``root`` is ``None`` — memory is then the only copy.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None,
+                 memory_entries: int = DEFAULT_MEMORY_ENTRIES) -> None:
+        self.root = Path(root) if root is not None else None
+        # The in-memory layer is unbounded for memory-only stores (it is the
+        # only copy) and LRU-bounded over a disk backing.
+        self._summaries = LRUSolutionCache(
+            None if self.root is None else memory_entries
+        )
+        self._metas: Dict[str, Dict[str, object]] = {}
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "summary_hits": 0,
+            "summary_misses": 0,
+            "corrupt_entries": 0,
+        }
+        # Running disk accounting, maintained by our own writes so the hot
+        # paths never re-walk the directory tree.  Initialised with one scan
+        # at open; writes by *other* processes after that are not reflected
+        # until the store is reopened (monitoring data, not a ledger).
+        self._disk_bytes = 0
+        self._disk_entries = {"summaries": 0, "components": 0}
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._check_format()
+            for kind in ("summaries", "components"):
+                base = self.root / kind
+                if base.is_dir():
+                    for path in base.glob("*/*.json.gz"):
+                        self._disk_bytes += path.stat().st_size
+                        self._disk_entries[kind] += 1
+
+    # ------------------------------------------------------------------ #
+    # layout helpers
+    # ------------------------------------------------------------------ #
+    def _check_format(self) -> None:
+        marker = self.root / "store.json"
+        if marker.exists():
+            try:
+                meta = json.loads(marker.read_text())
+                found = int(meta["format"])
+            except (ValueError, TypeError, KeyError) as error:
+                raise SummaryStoreError(
+                    f"store marker {marker} is unreadable: {error}"
+                ) from error
+            if found != STORE_FORMAT:
+                raise SummaryStoreError(
+                    f"store {self.root} has format {found}, expected {STORE_FORMAT}"
+                )
+            return
+        self._atomic_write(marker, json.dumps({"format": STORE_FORMAT}).encode())
+
+    def _entry_path(self, kind: str, key: str) -> Path:
+        if self.root is None:
+            raise SummaryStoreError("memory-only store has no entry files")
+        return self.root / kind / key[:2] / f"{key}.json.gz"
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        """Write ``payload`` so the file is either absent or complete."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _write_entry(self, kind: str, key: str, payload: Mapping[str, object]) -> None:
+        if self.root is None:
+            return
+        blob = gzip.compress(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        )
+        path = self._entry_path(kind, key)
+        with self._lock:
+            try:
+                previous = path.stat().st_size
+            except OSError:
+                previous = None
+            self._atomic_write(path, blob)
+            self._disk_bytes += len(blob) - (previous or 0)
+            if previous is None:
+                self._disk_entries[kind] += 1
+
+    def _read_entry(self, kind: str, key: str) -> Dict[str, object]:
+        """Strict read: raise :class:`SummaryStoreError` on anything that is
+        not a complete, well-formed entry of the current format."""
+        path = self._entry_path(kind, key)
+        if not path.exists():
+            raise SummaryStoreError(f"store has no {kind} entry {key}")
+        try:
+            payload = json.loads(gzip.decompress(path.read_bytes()).decode("utf-8"))
+        except (OSError, EOFError, ValueError) as error:
+            raise SummaryStoreError(
+                f"{kind} entry {key} is corrupted or partially written: {error}"
+            ) from error
+        if not isinstance(payload, dict) or payload.get("format") != STORE_FORMAT \
+                or payload.get("key") != key:
+            raise SummaryStoreError(
+                f"{kind} entry {key} has an unexpected payload shape or format"
+            )
+        return payload
+
+    def _iter_keys(self, kind: str) -> Iterator[str]:
+        if self.root is None:
+            return
+        base = self.root / kind
+        if not base.is_dir():
+            return
+        for path in sorted(base.glob("*/*.json.gz")):
+            yield path.name[: -len(".json.gz")]
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def put_summary(self, fingerprint: str, summary: DatabaseSummary,
+                    meta: Optional[Mapping[str, object]] = None) -> None:
+        """Persist a summary under its workload fingerprint."""
+        entry_meta = dict(meta or {})
+        entry_meta.setdefault("total_rows", int(summary.total_rows()))
+        entry_meta.setdefault("nbytes", int(summary.nbytes()))
+        self._summaries.put(fingerprint, summary)
+        with self._lock:
+            self._metas[fingerprint] = entry_meta
+        self._write_entry("summaries", fingerprint, {
+            "format": STORE_FORMAT,
+            "key": fingerprint,
+            "meta": entry_meta,
+            "summary": summary.to_dict(),
+        })
+
+    def get_summary(self, fingerprint: str) -> Optional[DatabaseSummary]:
+        """Serving-path read: ``None`` on miss *and* on corrupted entries
+        (counted in ``stats['corrupt_entries']``), so callers fall back to a
+        rebuild that overwrites the bad file."""
+        cached = self._summaries.get(fingerprint)
+        if cached is not None:
+            self.stats["summary_hits"] += 1
+            return cached  # type: ignore[return-value]
+        if self.root is None or not self._entry_path("summaries", fingerprint).exists():
+            self.stats["summary_misses"] += 1
+            return None
+        try:
+            summary = self.read_summary(fingerprint)
+        except SummaryStoreError:
+            self.stats["corrupt_entries"] += 1
+            self.stats["summary_misses"] += 1
+            return None
+        self.stats["summary_hits"] += 1
+        return summary
+
+    def read_summary(self, fingerprint: str) -> DatabaseSummary:
+        """Strict read of one summary entry; raises on missing/corrupt."""
+        payload = self._read_entry("summaries", fingerprint)
+        try:
+            summary = DatabaseSummary.from_dict(payload["summary"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as error:
+            raise SummaryStoreError(
+                f"summary entry {fingerprint} does not decode: {error}"
+            ) from error
+        self._summaries.put(fingerprint, summary)
+        with self._lock:
+            meta = payload.get("meta")
+            if isinstance(meta, dict):
+                self._metas[fingerprint] = meta
+        return summary
+
+    def has_summary(self, fingerprint: str) -> bool:
+        """``True`` when a summary entry exists (memory or disk)."""
+        if self._summaries.get(fingerprint) is not None:
+            return True
+        return self.root is not None and \
+            self._entry_path("summaries", fingerprint).exists()
+
+    def summary_fingerprints(self) -> List[str]:
+        """All stored workload fingerprints."""
+        keys = set(self._summaries.keys())
+        keys.update(self._iter_keys("summaries"))
+        return sorted(keys)
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Per-summary metadata for inspection tooling."""
+        out: List[Dict[str, object]] = []
+        for fingerprint in self.summary_fingerprints():
+            with self._lock:
+                meta = self._metas.get(fingerprint)
+            if meta is None and self.root is not None:
+                try:
+                    meta = self._read_entry("summaries", fingerprint).get("meta", {})
+                except SummaryStoreError:
+                    meta = {"corrupt": True}
+            out.append({"fingerprint": fingerprint, **(meta or {})})
+        return out
+
+    # ------------------------------------------------------------------ #
+    # LP component solutions
+    # ------------------------------------------------------------------ #
+    def put_component(self, key: str, solution: LPSolution) -> None:
+        """Persist one LP component solution under its canonical key."""
+        self._write_entry("components", key, {
+            "format": STORE_FORMAT,
+            "key": key,
+            "values": [int(v) for v in solution.values],
+            "feasible": bool(solution.feasible),
+            "method": solution.method,
+            "max_violation": float(solution.max_violation),
+        })
+
+    def get_component(self, key: str) -> Optional[LPSolution]:
+        """Read one component solution; ``None`` on miss or corruption."""
+        if self.root is None or not self._entry_path("components", key).exists():
+            return None
+        try:
+            payload = self._read_entry("components", key)
+            values = np.asarray(payload["values"], dtype=np.int64)
+            return LPSolution(
+                values=values,
+                feasible=bool(payload["feasible"]),
+                method=str(payload["method"]),
+                max_violation=float(payload["max_violation"]),
+                solve_seconds=0.0,
+            )
+        except (SummaryStoreError, KeyError, TypeError, ValueError):
+            self.stats["corrupt_entries"] += 1
+            return None
+
+    def solution_cache(self, memory_size: int = DEFAULT_COMPONENT_MEMORY) -> "StoreSolutionCache":
+        """A solver cache backend persisting through this store.
+
+        The memory layer is never disabled (a caller tuning its plain LRU to
+        ``cache_size=0`` still gets the persistent backend, with a minimal
+        hot layer in front of it).
+        """
+        return StoreSolutionCache(self, memory_size=max(1, memory_size))
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def store_bytes(self) -> int:
+        """Total bytes of all entry files on disk (0 for memory-only).
+
+        Served from the running counter — no directory walk; bytes written
+        by other processes appear after reopening the store.
+        """
+        with self._lock:
+            return self._disk_bytes
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/corruption counters plus current occupancy."""
+        with self._lock:
+            summaries = self._disk_entries["summaries"]
+            components = self._disk_entries["components"]
+            bytes_on_disk = self._disk_bytes
+        if self.root is None:
+            summaries = len(self._summaries)
+        return {
+            **self.stats,
+            "summaries": summaries,
+            "components": components,
+            "store_bytes": bytes_on_disk,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.root) if self.root is not None else "memory"
+        return f"SummaryStore({where!r}, {len(self.summary_fingerprints())} summaries)"
+
+
+class StoreSolutionCache(SolutionCache):
+    """Two-level LP solution cache: in-memory LRU over a summary store.
+
+    Plugs into :class:`~repro.lp.solver.ParallelLPSolver` as ``cache_backend``
+    so component solutions survive restarts and are shared across every
+    process that mounts the same store directory.
+    """
+
+    def __init__(self, store: SummaryStore,
+                 memory_size: int = DEFAULT_COMPONENT_MEMORY) -> None:
+        self.store = store
+        self.capacity = memory_size
+        self._memory = LRUSolutionCache(memory_size)
+        self.disk_hits = 0
+
+    def get(self, key: str) -> Optional[LPSolution]:
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        solution = self.store.get_component(key)
+        if solution is not None:
+            self.disk_hits += 1
+            self._memory.put(key, solution)
+        return solution
+
+    def put(self, key: str, solution: LPSolution) -> None:
+        self._memory.put(key, solution)
+        self.store.put_component(key, solution)
+
+    def clear(self) -> None:
+        # Only the in-memory layer is dropped; the persistent entries are the
+        # shared source of truth and stay available to other processes.
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

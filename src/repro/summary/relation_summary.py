@@ -78,12 +78,16 @@ class RelationSummary:
     # serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
-        """Return a JSON-serialisable representation."""
+        """Return a JSON-serialisable representation.
+
+        Values are coerced to plain ``int`` — summary rows built from numpy
+        arrays may carry ``np.int64`` scalars, which ``json`` rejects.
+        """
         return {
             "relation": self.relation,
             "primary_key": self.primary_key,
             "columns": list(self.columns),
-            "rows": [[list(values), count] for values, count in self.rows],
+            "rows": [[[int(v) for v in values], int(count)] for values, count in self.rows],
         }
 
     @classmethod
@@ -132,9 +136,9 @@ class DatabaseSummary:
         """Return a JSON-serialisable representation."""
         return {
             "relations": {name: summary.to_dict() for name, summary in self.relations.items()},
-            "extra_tuples": dict(self.extra_tuples),
-            "lp_variable_counts": dict(self.lp_variable_counts),
-            "timings": dict(self.timings),
+            "extra_tuples": {name: int(v) for name, v in self.extra_tuples.items()},
+            "lp_variable_counts": {name: int(v) for name, v in self.lp_variable_counts.items()},
+            "timings": {name: float(v) for name, v in self.timings.items()},
         }
 
     @classmethod

@@ -87,11 +87,34 @@ class TupleGenerator:
         as they are produced instead of reading a materialised relation.
         Peak memory is one batch, independent of the relation's size.
         """
+        return self.stream_range(batch_size=batch_size)
+
+    def stream_range(self, start_row: int = 1, stop_row: Optional[int] = None,
+                     batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Table]:
+        """Stream the contiguous row shard ``start_row..stop_row`` (1-based,
+        inclusive; ``stop_row=None`` means the last row) in columnar batches.
+
+        This is the handle concurrent consumers use to split one relation
+        into disjoint shards — e.g. the regeneration service hands each
+        client its own range, all served by the same shared generator (the
+        generator keeps no cursor state, so ranges can be pulled from any
+        number of threads at once).  Arguments are validated eagerly, at the
+        call site rather than at first iteration.
+        """
         if batch_size <= 0:
             raise GenerationError("batch size must be positive")
-        start = 1
-        while start <= self._total:
-            stop = min(start + batch_size - 1, self._total)
+        stop_row = self._total if stop_row is None else stop_row
+        if start_row < 1 or stop_row > self._total:
+            raise GenerationError(
+                f"row range {start_row}..{stop_row} out of bounds 1..{self._total}"
+                f" for {self.summary.relation!r}"
+            )
+        return self._iter_range(start_row, stop_row, batch_size)
+
+    def _iter_range(self, start: int, stop_row: int,
+                    batch_size: int) -> Iterator[Table]:
+        while start <= stop_row:
+            stop = min(start + batch_size - 1, stop_row)
             yield self._batch(start, stop)
             start = stop + 1
 
@@ -183,5 +206,6 @@ def dynamic_database(summary: DatabaseSummary, schema: Schema,
         def stream_factory(generator: TupleGenerator = generator) -> Iterator[Table]:
             return generator.stream(batch_size=batch_size)
 
-        database.attach_stream(relation, stream_factory)
+        database.attach_stream(relation, stream_factory,
+                               row_count=generator.total_rows)
     return database
