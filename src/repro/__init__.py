@@ -32,7 +32,7 @@ from repro.benchdata import (
 )
 from repro.constraints import CardinalityConstraint, ConstraintSet
 from repro.datasynth import DataSynth, DataSynthConfig, DataSynthResult
-from repro.engine import Database, Executor, Table
+from repro.engine import EXECUTOR_MODES, Database, Executor, PipelineStats, Table
 from repro.errors import ReproError
 from repro.hydra import Hydra, HydraConfig, HydraResult, extract_constraints
 from repro.metrics import (
@@ -41,6 +41,7 @@ from repro.metrics import (
     compare_lp_sizes,
     evaluate_on_database,
     evaluate_on_summary,
+    evaluate_with_executor,
 )
 from repro.predicates import Conjunct, DNFPredicate, Interval, IntervalSet, col
 from repro.schema import Attribute, ForeignKey, Relation, Schema
@@ -77,6 +78,8 @@ __all__ = [
     "Table",
     "Database",
     "Executor",
+    "EXECUTOR_MODES",
+    "PipelineStats",
     # workload
     "Query",
     "Workload",
@@ -112,6 +115,7 @@ __all__ = [
     "SimilarityReport",
     "evaluate_on_database",
     "evaluate_on_summary",
+    "evaluate_with_executor",
     "compare_lp_sizes",
     "compare_extra_tuples",
 ]

@@ -1,7 +1,15 @@
 """In-memory columnar relational engine producing annotated query plans."""
 
 from repro.engine.database import Database
-from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.executor import EXECUTOR_MODES, ExecutionResult, Executor
+from repro.engine.pipeline import (
+    BatchFilter,
+    BatchHashJoin,
+    BatchOperator,
+    BatchScan,
+    HashJoinBuild,
+    PipelineStats,
+)
 from repro.engine.plan import (
     AnnotatedQueryPlan,
     FilterNode,
@@ -16,9 +24,16 @@ __all__ = [
     "Database",
     "Executor",
     "ExecutionResult",
+    "EXECUTOR_MODES",
     "AnnotatedQueryPlan",
     "PlanNode",
     "ScanNode",
     "FilterNode",
     "JoinNode",
+    "BatchOperator",
+    "BatchScan",
+    "BatchFilter",
+    "BatchHashJoin",
+    "HashJoinBuild",
+    "PipelineStats",
 ]

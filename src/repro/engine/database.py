@@ -36,6 +36,10 @@ class Database:
         #: Declared total rows of stream-attached relations (see
         #: :meth:`attach_stream`); lets :meth:`row_count` answer for free.
         self._stream_rows: Dict[str, int] = {}
+        #: Iterator returned by the most recent factory call per stream
+        #: relation, used to detect factories that violate the fresh-iterator
+        #: contract (see :meth:`scan_batches`).
+        self._stream_passes: Dict[str, Iterator[Table]] = {}
         for rel_name, table in (tables or {}).items():
             self.attach(rel_name, table)
 
@@ -53,6 +57,7 @@ class Database:
         self._tables[relation] = table
         self._lazy.pop(relation, None)
         self._streams.pop(relation, None)
+        self._stream_passes.pop(relation, None)
 
     def attach_dynamic(self, relation: str, factory: Callable[[], Table]) -> None:
         """Register a dynamic (generate-on-demand) source for ``relation``.
@@ -65,17 +70,24 @@ class Database:
         self._lazy[relation] = factory
         self._tables.pop(relation, None)
         self._streams.pop(relation, None)
+        self._stream_passes.pop(relation, None)
 
     def attach_stream(self, relation: str,
                       stream_factory: Callable[[], Iterator[Table]],
                       row_count: Optional[int] = None) -> None:
         """Register a batch-streaming source for ``relation``.
 
-        ``stream_factory`` is a zero-argument callable returning a fresh
-        iterator of columnar batches.  Nothing is generated until the
-        relation is scanned; :meth:`scan_batches` consumes batches one at a
-        time (bounded memory), and :meth:`table` concatenates a full pass and
-        caches the result for subsequent whole-table access.
+        ``stream_factory`` is a zero-argument callable returning a **fresh**
+        iterator of columnar batches on *every* call — each scan is one full
+        independent single-pass cursor over the relation, and the factory is
+        re-invoked per scan.  A factory that hands back the same (by then
+        exhausted) iterator object twice would silently yield an empty or
+        truncated second scan; the database detects this and raises
+        :class:`EngineError` instead (see :meth:`scan_batches`).  Nothing is
+        generated until the relation is scanned; :meth:`scan_batches`
+        consumes batches one at a time (bounded memory), and :meth:`table`
+        concatenates a full pass and caches the result for subsequent
+        whole-table access.
 
         ``row_count`` declares the stream's total rows when the source knows
         it up front (a tuple generator always does): :meth:`row_count` then
@@ -84,6 +96,7 @@ class Database:
         """
         self.schema.relation(relation)
         self._streams[relation] = stream_factory
+        self._stream_passes.pop(relation, None)
         if row_count is not None:
             self._stream_rows[relation] = int(row_count)
         else:
@@ -100,7 +113,7 @@ class Database:
             self._tables[relation] = table
             return table
         if relation in self._streams:
-            table = self._concat_batches(relation, self._streams[relation]())
+            table = self._concat_batches(relation, self._stream_pass(relation))
             self._tables[relation] = table
             return table
         raise EngineError(f"no data attached for relation {relation!r}")
@@ -112,9 +125,18 @@ class Database:
         factory without ever materialising the whole table; already
         materialised (or plain dynamic) relations yield a single batch.
         Unknown relations raise immediately, not at first iteration.
+
+        **Single-pass contract:** every call starts one fresh, independent
+        pass — the stream factory is re-invoked and must return a new
+        iterator each time (restartable sources such as
+        :meth:`~repro.tuplegen.generator.TupleGenerator.stream` do this
+        naturally).  A factory that returns the same iterator object as a
+        previous scan would silently serve empty or truncated data from the
+        exhausted cursor; that violation raises :class:`EngineError` here —
+        re-attach via :meth:`attach_stream` to reset a one-shot source.
         """
         if relation in self._streams and relation not in self._tables:
-            return self._streams[relation]()
+            return self._stream_pass(relation)
         table = self.table(relation)  # raises EngineError when unattached
         return iter((table,))
 
@@ -137,6 +159,21 @@ class Database:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def _stream_pass(self, relation: str) -> Iterator[Table]:
+        """Start one fresh pass over a stream-attached relation, enforcing
+        the fresh-iterator contract of :meth:`scan_batches`."""
+        batches = self._streams[relation]()
+        if batches is self._stream_passes.get(relation):
+            raise EngineError(
+                f"stream factory for relation {relation!r} returned the same"
+                " iterator object as a previous scan; each scan consumes one"
+                " full single-pass cursor, so the factory must return a fresh"
+                " iterator per call (re-attach via attach_stream to reset a"
+                " one-shot source)"
+            )
+        self._stream_passes[relation] = batches
+        return batches
+
     def _concat_batches(self, relation: str, batches: Iterator[Table]) -> Table:
         """Concatenate a batch stream into one table (empty streams produce
         a zero-row table with the relation's schema columns)."""
@@ -164,7 +201,7 @@ class Database:
             declared = self._stream_rows.get(relation)
             if declared is not None:
                 return declared
-            return sum(batch.num_rows for batch in self._streams[relation]())
+            return sum(batch.num_rows for batch in self._stream_pass(relation))
         return self.table(relation).num_rows  # plain dynamic, or raises
 
     def row_counts(self) -> Dict[str, int]:

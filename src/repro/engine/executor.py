@@ -5,20 +5,50 @@ The executor evaluates a :class:`~repro.workload.query.Query` against a
 paper's Figure 1(c): scan/filter the root relation, then repeatedly filter a
 dimension relation and PK-FK join it in.  Every operator's output cardinality
 is recorded, which is precisely the AQP the client site ships to the vendor.
+
+Two execution modes produce identical results:
+
+* ``"pipelined"`` (the default) runs the fact side batch-at-a-time through
+  the volcano-style operators of :mod:`repro.engine.pipeline`: the root
+  relation is consumed via :meth:`Database.scan_batches`, so stream-attached
+  relations are never materialised and peak memory is one batch plus the
+  (small) dimension build sides;
+* ``"materialize"`` is the classic table-at-a-time path: every relation is
+  fully scanned before the first operator runs.
+
+Both modes share the same join kernel (:class:`HashJoinBuild`), and because
+filters are row-local and PK-FK joins match each fact row at most once, the
+modes emit byte-identical result tables and
+:class:`~repro.engine.plan.AnnotatedQueryPlan` cardinalities.  The executor's
+:attr:`Executor.stats` hook records the peak batch (or intermediate) rows
+either mode pushed through the plan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.database import Database
+from repro.engine.pipeline import (
+    BatchFilter,
+    BatchHashJoin,
+    BatchOperator,
+    BatchScan,
+    HashJoinBuild,
+    PipelineStats,
+    collect,
+    count_predicates,
+    drain,
+)
 from repro.engine.plan import AnnotatedQueryPlan, FilterNode, JoinNode, PlanNode, ScanNode
 from repro.engine.table import Table
 from repro.errors import EngineError
+from repro.predicates.dnf import DNFPredicate
 from repro.workload.query import Query, Workload
+
+#: Supported execution modes.
+EXECUTOR_MODES = ("pipelined", "materialize")
 
 
 @dataclass
@@ -31,95 +61,151 @@ class ExecutionResult:
 
 
 class Executor:
-    """Executes workload queries against a database, producing AQPs."""
+    """Executes workload queries against a database, producing AQPs.
 
-    def __init__(self, database: Database) -> None:
+    Parameters
+    ----------
+    database:
+        The database to execute against.
+    mode:
+        ``"pipelined"`` (default) evaluates batch-at-a-time without ever
+        materialising stream-attached relations; ``"materialize"`` is the
+        table-at-a-time path.  Results are identical in both modes.
+    """
+
+    def __init__(self, database: Database, mode: str = "pipelined") -> None:
+        if mode not in EXECUTOR_MODES:
+            raise EngineError(
+                f"unknown executor mode {mode!r}; expected one of {EXECUTOR_MODES}"
+            )
         self.database = database
         self.schema = database.schema
+        self.mode = mode
+        #: Peak-batch-rows accounting across every query this executor ran.
+        self.stats = PipelineStats()
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def execute(self, query: Query) -> ExecutionResult:
-        """Execute ``query`` and return the result table plus its AQP."""
-        query.validate(self.schema)
-        root_rel = self.schema.relation(query.root)
+        """Execute ``query`` and return the result table plus its AQP.
 
-        current = self.database.table(query.root)
-        plan: PlanNode = ScanNode(relation=query.root, cardinality=current.num_rows)
+        Collecting the result table concatenates the output batches; use
+        :meth:`execute_plan` when only the AQP is needed (constant memory in
+        pipelined mode) or :meth:`count` for streaming predicate counts.
+        """
+        pipeline, make_plan = self._prepare(query)
+        table = collect(pipeline)
+        return ExecutionResult(table=table, plan=make_plan())
 
-        root_filter = query.filter_for(query.root)
-        if not root_filter.is_true:
-            current = current.select(current.evaluate(root_filter))
-            plan = FilterNode(
-                relation=query.root,
-                predicate=root_filter,
-                child=plan,
-                cardinality=current.num_rows,
-            )
+    def execute_plan(self, query: Query) -> AnnotatedQueryPlan:
+        """Execute ``query`` for its AQP alone, discarding result batches.
 
-        for child, fk_column, parent in query.join_order(self.schema):
-            parent_table = self.database.table(parent)
-            parent_scan: PlanNode = ScanNode(relation=parent, cardinality=parent_table.num_rows)
-            parent_filter = query.filter_for(parent)
-            if not parent_filter.is_true:
-                parent_table = parent_table.select(parent_table.evaluate(parent_filter))
-                parent_scan = FilterNode(
-                    relation=parent,
-                    predicate=parent_filter,
-                    child=parent_scan,
-                    cardinality=parent_table.num_rows,
-                )
-            current = self._pk_fk_join(current, fk_column, parent, parent_table)
-            plan = JoinNode(
-                fk_column=fk_column,
-                parent_relation=parent,
-                left=plan,
-                right=parent_scan,
-                cardinality=current.num_rows,
-            )
+        In pipelined mode this is the constant-memory path: batches flow
+        through the operators into a cardinality-accumulating sink and are
+        dropped, so AQPs can be collected over databases far larger than
+        memory.
+        """
+        pipeline, make_plan = self._prepare(query)
+        drain(pipeline)
+        return make_plan()
 
-        aqp = AnnotatedQueryPlan(
-            query_id=query.query_id,
-            root_relation=query.root,
-            root=plan,
-            relations=tuple(query.relations),
-        )
-        return ExecutionResult(table=current, plan=aqp)
+    def count(self, query: Query,
+              predicates: Sequence[DNFPredicate]) -> List[int]:
+        """Execute ``query`` and count, per predicate, the matching result
+        rows — without retaining the result table in pipelined mode."""
+        pipeline, _ = self._prepare(query)
+        return count_predicates(pipeline, predicates)
 
     def execute_workload(self, workload: Workload) -> List[AnnotatedQueryPlan]:
         """Execute every query of the workload, returning the AQPs."""
-        return [self.execute(query).plan for query in workload]
+        return [self.execute_plan(query) for query in workload]
 
     # ------------------------------------------------------------------ #
-    # join implementation
+    # plan assembly (shared by both modes)
     # ------------------------------------------------------------------ #
-    def _pk_fk_join(self, left: Table, fk_column: str, parent: str,
-                    parent_table: Table) -> Table:
-        """Join the running intermediate result with a (possibly filtered)
-        parent relation on ``left.fk_column = parent.pk``."""
-        if not left.has_column(fk_column):
-            raise EngineError(
-                f"intermediate result is missing foreign-key column {fk_column!r}"
+    def _prepare(
+        self, query: Query,
+    ) -> Tuple[BatchOperator, Callable[[], AnnotatedQueryPlan]]:
+        """Validate the query and assemble its operator chain.
+
+        Materialize mode forces the root relation into a whole table first,
+        so the scan yields one full-size batch and every operator sees (and
+        accounts) complete intermediates — table-at-a-time execution as a
+        degenerate one-batch pipeline, sharing a single plan-construction
+        path with pipelined mode.
+        """
+        query.validate(self.schema)
+        if self.mode == "materialize":
+            self.database.table(query.root)
+        return self._build_pipeline(query)
+
+    def _build_pipeline(
+        self, query: Query,
+    ) -> Tuple[BatchOperator, Callable[[], AnnotatedQueryPlan]]:
+        """Assemble the operator chain for ``query``.
+
+        Returns the chain's top operator plus a plan factory to call *after*
+        the chain has been drained: operator cardinalities are only complete
+        once every batch has flowed through.  Dimension (build) sides are
+        resolved eagerly — they are whole-table consumers by design; only
+        the fact side streams.
+        """
+        scan_op = BatchScan(self.database, query.root, self.stats)
+        source: BatchOperator = scan_op
+        root_filter = query.filter_for(query.root)
+        filter_op: Optional[BatchFilter] = None
+        if not root_filter.is_true:
+            filter_op = BatchFilter(source, root_filter, self.stats)
+            source = filter_op
+
+        joins: List[Tuple[BatchHashJoin, str, str, int, DNFPredicate, int]] = []
+        for _, fk_column, parent in query.join_order(self.schema):
+            parent_table = self.database.table(parent)
+            scan_cardinality = parent_table.num_rows
+            parent_filter = query.filter_for(parent)
+            build_side = parent_table
+            if not parent_filter.is_true:
+                build_side = parent_table.select(parent_table.evaluate(parent_filter))
+            build = HashJoinBuild(build_side, self.schema.relation(parent).primary_key)
+            join_op = BatchHashJoin(source, fk_column, build, self.stats)
+            source = join_op
+            joins.append((join_op, fk_column, parent, scan_cardinality,
+                          parent_filter, build_side.num_rows))
+
+        def make_plan() -> AnnotatedQueryPlan:
+            plan: PlanNode = ScanNode(relation=query.root, cardinality=scan_op.rows_out)
+            if filter_op is not None:
+                plan = FilterNode(
+                    relation=query.root,
+                    predicate=root_filter,
+                    child=plan,
+                    cardinality=filter_op.rows_out,
+                )
+            for join_op, fk_column, parent, scan_cardinality, parent_filter, \
+                    filtered_cardinality in joins:
+                parent_scan: PlanNode = ScanNode(
+                    relation=parent, cardinality=scan_cardinality
+                )
+                if not parent_filter.is_true:
+                    parent_scan = FilterNode(
+                        relation=parent,
+                        predicate=parent_filter,
+                        child=parent_scan,
+                        cardinality=filtered_cardinality,
+                    )
+                plan = JoinNode(
+                    fk_column=fk_column,
+                    parent_relation=parent,
+                    left=plan,
+                    right=parent_scan,
+                    cardinality=join_op.rows_out,
+                )
+            return AnnotatedQueryPlan(
+                query_id=query.query_id,
+                root_relation=query.root,
+                root=plan,
+                relations=tuple(query.relations),
             )
-        parent_rel = self.schema.relation(parent)
-        pk = parent_table.column(parent_rel.primary_key)
-        fks = left.column(fk_column)
 
-        order = np.argsort(pk, kind="stable")
-        pk_sorted = pk[order]
-        positions = np.searchsorted(pk_sorted, fks)
-        positions = np.clip(positions, 0, max(len(pk_sorted) - 1, 0))
-        if len(pk_sorted) == 0:
-            matched = np.zeros(len(fks), dtype=bool)
-        else:
-            matched = pk_sorted[positions] == fks
-
-        joined_left = left.select(matched)
-        parent_rows = order[positions[matched]]
-        extra: Dict[str, np.ndarray] = {}
-        for column in parent_table.column_names:
-            if column == parent_rel.primary_key or joined_left.has_column(column):
-                continue
-            extra[column] = parent_table.column(column)[parent_rows]
-        return joined_left.with_columns(extra)
+        return source, make_plan

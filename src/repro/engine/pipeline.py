@@ -1,0 +1,223 @@
+"""Volcano-style batched execution pipeline.
+
+The operators in this module evaluate the paper's left-deep AQP plans
+batch-at-a-time instead of table-at-a-time: the root (fact) relation is
+pulled through :meth:`~repro.engine.database.Database.scan_batches`, filters
+and PK-FK joins are applied to one columnar batch at a time, and a sink at
+the top of the chain accumulates whatever the caller needs (the full result
+table, plain cardinalities, or per-predicate counts).
+
+Stream-attached relations are therefore never materialised along the fact
+side: peak memory is one batch (plus the build sides of the joins, which are
+the small dimension relations of a star/snowflake query).  The pipelined
+result is *identical* to table-at-a-time execution — filters are row-local
+and PK-FK joins match each fact row against at most one dimension row, so
+per-batch evaluation followed by concatenation commutes with whole-table
+evaluation, preserving both row order and every operator cardinality.
+
+Operator chains are single-use: each operator counts the rows it emits in
+``rows_out`` (the AQP annotation) while it is drained, so a chain must be
+built, drained through exactly one sink, and then only inspected — a second
+drain raises :class:`EngineError` rather than double-counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.errors import EngineError
+from repro.predicates.dnf import DNFPredicate
+
+
+@dataclass
+class PipelineStats:
+    """Memory-accounting hook shared by every operator of an executor.
+
+    ``peak_batch_rows`` is the largest batch that flowed through any
+    operator — the pipelined executor's peak working-set size in rows.  In
+    table-at-a-time (``materialize``) mode the executor feeds every full
+    intermediate table through the same hook, so the counter doubles as the
+    apples-to-apples memory-footprint comparison between the two modes
+    (dimension build sides are excluded in both modes).
+    """
+
+    batches: int = 0
+    peak_batch_rows: int = 0
+    rows: int = 0
+
+    def observe(self, num_rows: int) -> None:
+        """Record one batch (or one full intermediate) of ``num_rows``."""
+        self.batches += 1
+        self.rows += num_rows
+        if num_rows > self.peak_batch_rows:
+            self.peak_batch_rows = num_rows
+
+
+class BatchOperator:
+    """Base class of the streaming operators: an iterable of columnar
+    batches that counts the rows it emits."""
+
+    def __init__(self, stats: Optional[PipelineStats] = None) -> None:
+        self.stats = stats
+        #: Total rows emitted so far — the operator's AQP cardinality once
+        #: the chain has been fully drained.
+        self.rows_out = 0
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[Table]:
+        if self._consumed:
+            raise EngineError(
+                f"{type(self).__name__} has already been drained; operator"
+                " chains are single-use — build a new pipeline"
+            )
+        self._consumed = True
+        for batch in self._produce():
+            self.rows_out += batch.num_rows
+            if self.stats is not None:
+                self.stats.observe(batch.num_rows)
+            yield batch
+
+    def _produce(self) -> Iterator[Table]:
+        raise NotImplementedError
+
+
+class BatchScan(BatchOperator):
+    """Leaf operator: pulls a relation's batches from the database.
+
+    Stream-attached relations are served straight from their batch factory
+    (one fresh single pass, see :meth:`Database.scan_batches`); materialised
+    relations arrive as a single batch.  A source that yields no batches at
+    all still emits one empty batch carrying the relation's schema columns,
+    so downstream operators always see the correct shape.
+    """
+
+    def __init__(self, database: Database, relation: str,
+                 stats: Optional[PipelineStats] = None) -> None:
+        super().__init__(stats)
+        self.database = database
+        self.relation = relation
+
+    def _produce(self) -> Iterator[Table]:
+        empty = True
+        for batch in self.database.scan_batches(self.relation):
+            empty = False
+            yield batch
+        if empty:
+            rel = self.database.schema.relation(self.relation)
+            yield Table.empty(rel.all_columns, name=self.relation)
+
+
+class BatchFilter(BatchOperator):
+    """Vectorised selection applied batch-by-batch."""
+
+    def __init__(self, source: BatchOperator, predicate: DNFPredicate,
+                 stats: Optional[PipelineStats] = None) -> None:
+        super().__init__(stats)
+        self.source = source
+        self.predicate = predicate
+
+    def _produce(self) -> Iterator[Table]:
+        for batch in self.source:
+            yield batch.select(batch.evaluate(self.predicate))
+
+
+class HashJoinBuild:
+    """The build side of a PK-FK join: a (filtered) dimension table indexed
+    by primary key.
+
+    The index is a sorted copy of the key column probed with a vectorised
+    binary search — the columnar equivalent of a hash-table build, built
+    once per join and probed by every fact batch.
+    """
+
+    def __init__(self, table: Table, primary_key: str) -> None:
+        self.table = table
+        self.primary_key = primary_key
+        pk = table.column(primary_key)
+        self._order = np.argsort(pk, kind="stable")
+        self._pk_sorted = pk[self._order]
+
+    def probe(self, left: Table, fk_column: str) -> Table:
+        """Join ``left`` rows whose ``fk_column`` matches a build-side key,
+        carrying over every build-side column not already present."""
+        if not left.has_column(fk_column):
+            raise EngineError(
+                f"intermediate result is missing foreign-key column {fk_column!r}"
+            )
+        fks = left.column(fk_column)
+        positions = np.searchsorted(self._pk_sorted, fks)
+        positions = np.clip(positions, 0, max(len(self._pk_sorted) - 1, 0))
+        if len(self._pk_sorted) == 0:
+            matched = np.zeros(len(fks), dtype=bool)
+        else:
+            matched = self._pk_sorted[positions] == fks
+        joined = left.select(matched)
+        build_rows = self._order[positions[matched]]
+        extra: Dict[str, np.ndarray] = {}
+        for column in self.table.column_names:
+            if column == self.primary_key or joined.has_column(column):
+                continue
+            extra[column] = self.table.column(column)[build_rows]
+        return joined.with_columns(extra)
+
+
+class BatchHashJoin(BatchOperator):
+    """PK-FK join: probes each fact-side batch against a prebuilt dimension
+    side.  Every fact row matches at most one dimension row, so the join
+    neither reorders nor duplicates probe rows — batch boundaries are
+    preserved exactly."""
+
+    def __init__(self, source: BatchOperator, fk_column: str,
+                 build: HashJoinBuild,
+                 stats: Optional[PipelineStats] = None) -> None:
+        super().__init__(stats)
+        self.source = source
+        self.fk_column = fk_column
+        self.build = build
+
+    def _produce(self) -> Iterator[Table]:
+        for batch in self.source:
+            yield self.build.probe(batch, self.fk_column)
+
+
+# ---------------------------------------------------------------------- #
+# sinks
+# ---------------------------------------------------------------------- #
+def collect(pipeline: BatchOperator) -> Table:
+    """Drain the pipeline and concatenate its batches into one table."""
+    # BatchScan always emits at least one (possibly empty) batch, which
+    # Table.concat requires.
+    return Table.concat(list(pipeline))
+
+
+def drain(pipeline: BatchOperator) -> int:
+    """Drain the pipeline, discarding batches; returns the emitted rows.
+
+    This is the cardinality-accumulating sink of AQP collection: after
+    draining, every operator's ``rows_out`` holds its annotation while peak
+    memory stayed at one batch.
+    """
+    rows = 0
+    for batch in pipeline:
+        rows += batch.num_rows
+    return rows
+
+
+def count_predicates(pipeline: BatchOperator,
+                     predicates: Sequence[DNFPredicate]) -> List[int]:
+    """Drain the pipeline, accumulating per-predicate match counts.
+
+    Evaluates every predicate against each batch as it streams past —
+    equivalent to ``collect(pipeline).count(p)`` for each predicate, at one
+    batch of peak memory.
+    """
+    counts = [0] * len(predicates)
+    for batch in pipeline:
+        for i, predicate in enumerate(predicates):
+            counts[i] += batch.count(predicate)
+    return counts

@@ -25,19 +25,30 @@ from repro.workload.query import Workload
 class ClientPackage:
     """Everything the client ships to the vendor: the (anonymised) schema is
     implicit in the shared :class:`~repro.schema.Schema` object, the AQPs are
-    retained for reporting, and the CCs drive regeneration."""
+    retained for reporting, and the CCs drive regeneration.
+
+    ``peak_batch_rows`` is the executor's memory-accounting telemetry: the
+    largest batch (pipelined) or intermediate table (materialize) that AQP
+    collection pushed through a plan."""
 
     plans: List[AnnotatedQueryPlan]
     constraints: ConstraintSet
     row_counts: Dict[str, int]
+    peak_batch_rows: int = 0
 
 
 def extract_constraints(database: Database, workload: Workload,
                         include_sizes: bool = True,
-                        name: str = "client-ccs") -> ClientPackage:
-    """Execute the workload on the client database and derive its CCs."""
+                        name: str = "client-ccs",
+                        executor_mode: str = "pipelined") -> ClientPackage:
+    """Execute the workload on the client database and derive its CCs.
+
+    AQP collection runs through the pipelined executor by default: plans are
+    drained into a cardinality-accumulating sink, so stream-attached (lazy)
+    relations are never materialised and peak memory stays at one batch.
+    """
     workload.validate(database.schema)
-    executor = Executor(database)
+    executor = Executor(database, mode=executor_mode)
     plans = executor.execute_workload(workload)
     # Collect row counts over every attached relation the workload touches —
     # including stream-attached (lazy) relations, which ``Database.relations``
@@ -49,4 +60,6 @@ def extract_constraints(database: Database, workload: Workload,
         plans, database.schema, row_counts=row_counts,
         include_sizes=include_sizes, name=name,
     )
-    return ClientPackage(plans=plans, constraints=constraints, row_counts=row_counts)
+    return ClientPackage(plans=plans, constraints=constraints,
+                         row_counts=row_counts,
+                         peak_batch_rows=executor.stats.peak_batch_rows)

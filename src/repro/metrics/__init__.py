@@ -16,6 +16,7 @@ from repro.metrics.similarity import (
     denormalized_view,
     evaluate_on_database,
     evaluate_on_summary,
+    evaluate_with_executor,
 )
 from repro.metrics.timing import Timer, TimingLog
 
@@ -26,6 +27,7 @@ __all__ = [
     "denormalized_view",
     "evaluate_on_database",
     "evaluate_on_summary",
+    "evaluate_with_executor",
     "LPSizeComparison",
     "compare_lp_sizes",
     "IntegrityComparison",

@@ -98,28 +98,53 @@ class SimilarityReport:
 
 
 # ---------------------------------------------------------------------- #
-# evaluation against a materialised database
+# evaluation against a regenerated database (through the engine)
 # ---------------------------------------------------------------------- #
+def _view_query(database: Database, relation: str) -> Query:
+    """The denormalised-view query of ``relation``: the relation joined with
+    every relation it references, directly or transitively."""
+    closure = database.schema.referenced_closure(relation)
+    return Query(query_id=f"__view_{relation}", root=relation,
+                 relations=(relation, *closure))
+
+
 def denormalized_view(database: Database, relation: str) -> Table:
     """Materialise the denormalised view of ``relation``: the relation joined
     with every relation it references, directly or transitively."""
-    schema = database.schema
-    closure = schema.referenced_closure(relation)
-    query = Query(query_id=f"__view_{relation}", root=relation,
-                  relations=(relation, *closure))
-    return Executor(database).execute(query).table
+    return Executor(database).execute(_view_query(database, relation)).table
 
 
-def evaluate_on_database(ccs: ConstraintSet, database: Database) -> SimilarityReport:
-    """Evaluate every constraint against a materialised database."""
-    results: List[ConstraintResult] = []
-    views: Dict[str, Table] = {}
-    for cc in ccs:
-        if cc.relation not in views:
-            views[cc.relation] = denormalized_view(database, cc.relation)
-        actual = views[cc.relation].count(cc.predicate)
-        results.append(ConstraintResult(constraint=cc, expected=cc.cardinality, actual=actual))
-    return SimilarityReport(results=results)
+def evaluate_with_executor(ccs: ConstraintSet,
+                           executor: Executor) -> SimilarityReport:
+    """Evaluate every constraint through an existing executor.
+
+    Constraints are grouped per root relation and counted in one pass over
+    that relation's denormalised view — in pipelined mode the view streams
+    through the join operators batch-at-a-time, so the fact relation of a
+    stream-attached (dynamically regenerated) database is never
+    materialised, whatever scale it expands to.
+    """
+    indexed = list(enumerate(ccs))
+    groups: Dict[str, List[Tuple[int, CardinalityConstraint]]] = {}
+    for index, cc in indexed:
+        groups.setdefault(cc.relation, []).append((index, cc))
+    actuals: Dict[int, int] = {}
+    for relation, pairs in groups.items():
+        query = _view_query(executor.database, relation)
+        counts = executor.count(query, [cc.predicate for _, cc in pairs])
+        for (index, _), actual in zip(pairs, counts):
+            actuals[index] = actual
+    return SimilarityReport(results=[
+        ConstraintResult(constraint=cc, expected=cc.cardinality,
+                         actual=actuals[index])
+        for index, cc in indexed
+    ])
+
+
+def evaluate_on_database(ccs: ConstraintSet, database: Database,
+                         mode: str = "pipelined") -> SimilarityReport:
+    """Evaluate every constraint against a regenerated database."""
+    return evaluate_with_executor(ccs, Executor(database, mode=mode))
 
 
 # ---------------------------------------------------------------------- #

@@ -21,16 +21,21 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.constraints.workload import ConstraintSet
+from repro.engine.database import Database
+from repro.engine.executor import Executor
+from repro.engine.plan import AnnotatedQueryPlan
 from repro.engine.table import Table
 from repro.errors import ServiceError
 from repro.hydra.pipeline import Hydra, HydraConfig
+from repro.metrics.similarity import SimilarityReport, evaluate_with_executor
 from repro.schema.schema import Schema
 from repro.service.store import SummaryStore
 from repro.summary.relation_summary import DatabaseSummary
 from repro.tuplegen.generator import DEFAULT_BATCH_SIZE, TupleGenerator
+from repro.workload.query import Workload
 
 
 class _Flight:
@@ -115,6 +120,11 @@ class RegenerationService:
             "inflight_dedup": 0,  # attached to an identical in-flight build
             "pipeline_runs": 0,
             "batches_streamed": 0,
+            # executor memory telemetry (regenerate-then-verify paths)
+            "workloads_executed": 0,
+            "verifications": 0,
+            "executor_batches": 0,
+            "executor_peak_batch_rows": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -200,18 +210,7 @@ class RegenerationService:
         Each call returns an independent cursor; concurrent consumers can
         shard a relation with ``start_row``/``stop_row``.
         """
-        if isinstance(request, str):
-            fingerprint = request
-            summary = self.store.get_summary(fingerprint)
-            if summary is None:
-                raise ServiceError(
-                    f"no stored summary for fingerprint {fingerprint[:12]}…;"
-                    " submit the workload first"
-                )
-        else:
-            ticket = self.submit(request)
-            fingerprint = ticket.fingerprint
-            summary = ticket.result(timeout)
+        fingerprint, summary = self._resolve_summary(request, timeout)
         generator = self._generator(fingerprint, relation, summary)
         batches = generator.stream_range(start_row, stop_row, batch_size=batch_size)
 
@@ -225,13 +224,107 @@ class RegenerationService:
 
     def total_rows(self, request: Union[ConstraintSet, str], relation: str) -> int:
         """Rows the given relation regenerates to (without generating)."""
+        return self._resolve_summary(request)[1].relation(relation).total_rows()
+
+    def _resolve_summary(self, request: Union[ConstraintSet, str],
+                         timeout: Optional[float] = None,
+                         ) -> Tuple[str, DatabaseSummary]:
+        """Resolve a request to ``(fingerprint, summary)``.
+
+        A constraint set resolves — warm or cold — via :meth:`submit`; a
+        fingerprint string is store-only and raises :class:`ServiceError`
+        when unknown, never running the pipeline.
+        """
         if isinstance(request, str):
             summary = self.store.get_summary(request)
             if summary is None:
-                raise ServiceError(f"no stored summary for fingerprint {request[:12]}…")
-        else:
-            summary = self.summarize(request)
-        return summary.relation(relation).total_rows()
+                raise ServiceError(
+                    f"no stored summary for fingerprint {request[:12]}…;"
+                    " submit the workload first"
+                )
+            return request, summary
+        ticket = self.submit(request)
+        return ticket.fingerprint, ticket.result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # regenerate-then-verify (pipelined execution over regenerated data)
+    # ------------------------------------------------------------------ #
+    def database(self, request: Union[ConstraintSet, str],
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 timeout: Optional[float] = None) -> Database:
+        """A lazily regenerated :class:`Database` for the request's summary.
+
+        Every relation is attached as a batch stream: nothing is generated
+        until first scan, and pipelined consumers (the default
+        :class:`~repro.engine.executor.Executor` mode) never materialise a
+        relation however large the regenerated scale is.  The streams are
+        backed by the service's shared per-``(fingerprint, relation)``
+        generators — the same ones :meth:`stream` serves shards from — so
+        repeated regenerate-then-verify calls pay the summary expansion
+        setup once and their batches show up in the shared diagnostics.
+        """
+        fingerprint, summary = self._resolve_summary(request, timeout)
+        database = Database(self.schema, name=f"regen-{fingerprint[:12]}")
+        for relation in summary.relations:
+            generator = self._generator(fingerprint, relation, summary)
+
+            def stream_factory(generator: TupleGenerator = generator,
+                               ) -> Iterator[Table]:
+                return generator.stream(batch_size=batch_size)
+
+            database.attach_stream(relation, stream_factory,
+                                   row_count=generator.total_rows)
+        return database
+
+    def execute_workload(self, request: Union[ConstraintSet, str],
+                         workload: Workload,
+                         batch_size: int = DEFAULT_BATCH_SIZE,
+                         mode: str = "pipelined",
+                         timeout: Optional[float] = None,
+                         ) -> List[AnnotatedQueryPlan]:
+        """Execute an AQP workload over the request's regenerated database.
+
+        This is the serving half of the paper's client/vendor loop: the
+        vendor regenerates the database from the summary and replays the
+        workload to produce AQPs, batch-at-a-time by default so the fact
+        relations are never materialised.  Executor memory telemetry
+        (``executor_peak_batch_rows`` and friends) lands in :meth:`stats`.
+        """
+        executor = Executor(self.database(request, batch_size, timeout), mode=mode)
+        plans = executor.execute_workload(workload)
+        self._observe_executor(executor, "workloads_executed")
+        return plans
+
+    def verify(self, request: Union[ConstraintSet, str],
+               constraints: Optional[ConstraintSet] = None,
+               batch_size: int = DEFAULT_BATCH_SIZE,
+               mode: str = "pipelined",
+               timeout: Optional[float] = None) -> SimilarityReport:
+        """Volumetric-similarity check of the regenerated database.
+
+        Evaluates ``constraints`` (defaulting to the request itself when it
+        is a constraint set) against the regenerated data through the
+        engine, streaming each denormalised view batch-at-a-time by default.
+        """
+        if constraints is None:
+            if not isinstance(request, ConstraintSet):
+                raise ServiceError(
+                    "verify needs an explicit constraint set when the request"
+                    " is a fingerprint"
+                )
+            constraints = request
+        executor = Executor(self.database(request, batch_size, timeout), mode=mode)
+        report = evaluate_with_executor(constraints, executor)
+        self._observe_executor(executor, "verifications")
+        return report
+
+    def _observe_executor(self, executor: Executor, counter: str) -> None:
+        stats = executor.stats
+        with self._lock:
+            self._counters[counter] += 1
+            self._counters["executor_batches"] += stats.batches
+            if stats.peak_batch_rows > self._counters["executor_peak_batch_rows"]:
+                self._counters["executor_peak_batch_rows"] = stats.peak_batch_rows
 
     def _generator(self, fingerprint: str, relation: str,
                    summary: DatabaseSummary) -> TupleGenerator:

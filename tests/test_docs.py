@@ -1,0 +1,42 @@
+"""Tier-1 documentation drift checks.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``):
+every ``src/repro`` module must carry a module docstring, and every fenced
+python snippet in README/docs must compile — with ``>>>`` blocks executed
+as doctests — so the documentation layer cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_module_has_a_docstring():
+    checker = _load_checker()
+    assert checker.check_module_docstrings() == []
+
+
+def test_fenced_doc_snippets_compile_and_doctests_pass():
+    checker = _load_checker()
+    assert checker.check_fenced_snippets() == []
+
+
+def test_docs_reference_each_other():
+    """README links the docs pages and each docs page links back."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme and "docs/SERVING.md" in readme
+    for page in ("ARCHITECTURE.md", "SERVING.md"):
+        text = (REPO_ROOT / "docs" / page).read_text()
+        assert "README" in text

@@ -463,3 +463,59 @@ class TestServiceCLI:
         )
         assert result.returncode == 3
         assert "refusing" in result.stderr
+
+
+# ---------------------------------------------------------------------- #
+# regenerate-then-verify: pipelined execution over regenerated databases
+# ---------------------------------------------------------------------- #
+class TestRegenerateThenVerify:
+    def _workload(self) -> Workload:
+        return Workload(name="verify", queries=[
+            Query(query_id="q1", root="R", relations=("R", "S", "T"),
+                  filters={"S": col("A").between(20, 60)}),
+            Query(query_id="q2", root="R", relations=("R", "S")),
+        ])
+
+    def test_execute_workload_over_regenerated_database(self, toy_schema,
+                                                        monkeypatch):
+        # The fact relation streams through the executor batch-at-a-time:
+        # a one-shot materialisation anywhere is a test failure.
+        def forbidden(self):
+            raise AssertionError("serving path called materialize()")
+
+        with RegenerationService(toy_schema) as service:
+            service.summarize(toy_ccs())  # warm the store first
+            monkeypatch.setattr(TupleGenerator, "materialize", forbidden)
+            plans = service.execute_workload(toy_ccs(), self._workload(),
+                                             batch_size=10_000)
+            assert [p.query_id for p in plans] == ["q1", "q2"]
+            assert plans[1].output_cardinality() == 80_000
+            stats = service.stats()
+            assert stats["workloads_executed"] == 1
+            assert stats["executor_batches"] > 0
+            assert 0 < stats["executor_peak_batch_rows"] <= 10_000
+
+    def test_verify_defaults_to_request_constraints(self, toy_schema):
+        with RegenerationService(toy_schema) as service:
+            report = service.verify(toy_ccs())
+            assert len(report.results) == len(list(toy_ccs()))
+            assert report.max_error() < 0.02
+            stats = service.stats()
+            assert stats["verifications"] == 1
+            assert stats["executor_peak_batch_rows"] > 0
+
+    def test_verify_by_fingerprint_requires_constraints(self, toy_schema):
+        with RegenerationService(toy_schema) as service:
+            ticket = service.submit(toy_ccs())
+            ticket.result()
+            with pytest.raises(ServiceError, match="explicit constraint set"):
+                service.verify(ticket.fingerprint)
+            # ... but works once the constraints are supplied.
+            report = service.verify(ticket.fingerprint, constraints=toy_ccs())
+            assert report.max_error() < 0.02
+
+    def test_database_is_lazy(self, toy_schema):
+        with RegenerationService(toy_schema) as service:
+            database = service.database(toy_ccs(), batch_size=10_000)
+            assert all(database.is_dynamic(rel) for rel in ("R", "S", "T"))
+            assert database.row_count("R") == 80_000
