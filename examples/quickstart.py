@@ -1,9 +1,11 @@
 """Quickstart: regenerate the paper's toy database (Figure 1) end to end.
 
-The script builds the R/S/T client database, runs the example query to obtain
-its annotated query plan, converts it into cardinality constraints, runs the
-Hydra pipeline and verifies that the regenerated database reproduces every
-operator cardinality.
+The script builds the R/S/T client database and drives the whole pipeline
+through the ``repro.api`` session facade: ``extract`` the cardinality
+constraints from the example query's annotated plan, ``summarize`` them
+into a scale-free database summary, ``regenerate`` a (lazy) database from
+it — including at 10x the original volume — and ``verify`` that every
+operator cardinality is reproduced.
 
 Run with:  python examples/quickstart.py
 """
@@ -16,17 +18,15 @@ from repro import (
     Attribute,
     Database,
     ForeignKey,
-    Hydra,
     Interval,
     Query,
+    RegenConfig,
     Relation,
     Schema,
+    Session,
     Table,
     Workload,
     col,
-    evaluate_on_database,
-    extract_constraints,
-    materialize_database,
 )
 
 
@@ -74,26 +74,34 @@ def main() -> None:
               filters={"S": col("A").between(20, 60), "T": col("C").between(2, 3)}),
     ])
 
+    session = Session(schema, config=RegenConfig(workers=2))
+
     # Client side: execute the workload, collect AQPs, derive CCs.
-    package = extract_constraints(client_db, workload)
+    constraints = session.extract(client_db, workload)
     print("Cardinality constraints shipped to the vendor:")
-    for cc in package.constraints:
+    for cc in constraints:
         print("  ", cc)
 
-    # Vendor side: build the database summary and materialise it.
-    result = Hydra(schema).build_summary(package.constraints)
-    summary = result.summary
+    # Vendor side: build the scale-free database summary.
+    handle = session.summarize(constraints)
+    summary = handle.summary
     print(f"\nDatabase summary: {summary.total_rows()} tuples described in "
           f"{sum(len(r) for r in summary.relations.values())} summary rows "
-          f"({summary.nbytes()} bytes)")
+          f"({summary.nbytes()} bytes, fingerprint {handle.fingerprint[:12]}…)")
 
-    synthetic = materialize_database(summary, schema)
-    report = evaluate_on_database(package.constraints, synthetic)
+    # Regenerate lazily and verify through the pipelined executor.
+    database = session.regenerate(handle)
+    report = session.verify(database)
     print("\nVolumetric similarity on the regenerated database:")
     for res in report.results:
         print(f"  expected {res.expected:>8d}   regenerated {res.actual:>8d}   "
               f"error {res.absolute_relative_error:.3%}")
     print(f"\nmax relative error: {report.max_error():.3%}")
+
+    # The summary is scale-free: the same handle regenerates any volume.
+    big = session.regenerate(handle, scale=10.0)
+    print(f"\nAt scale 10x: {sum(big.row_counts().values())} tuples from the"
+          f" same {summary.nbytes()}-byte summary (nothing materialised)")
 
 
 if __name__ == "__main__":

@@ -6,22 +6,33 @@ the DataSynth baseline, an in-memory relational engine producing annotated
 query plans, TPC-DS-like / JOB-like benchmark environments, and the full
 experiment harness.
 
-Typical use::
+Typical use (the :mod:`repro.api` session facade)::
 
-    from repro import (
-        tpcds_schema, complex_workload, generate_database,
-        extract_constraints, Hydra, materialize_database,
-    )
+    from repro import Session, RegenConfig, tpcds_schema, complex_workload, generate_database
 
     schema = tpcds_schema(scale_factor=0.0005)
     client_db = generate_database(schema, seed=1)
     workload = complex_workload(schema)
-    package = extract_constraints(client_db, workload)
 
-    result = Hydra(schema).build_summary(package.constraints)
-    synthetic_db = materialize_database(result.summary, schema)
+    session = Session(schema, config=RegenConfig(workers=4))
+    constraints = session.extract(client_db, workload)
+    handle = session.summarize(constraints)        # or engine="datasynth"
+    database = session.regenerate(handle)          # lazy, streamable
+    report = session.verify(database)
+
+The per-layer symbols (``Hydra``, ``DataSynth``, ``RegenerationService``,
+solvers, partitioners...) remain importable for experiments and extensions;
+``docs/API.md`` maps the old entry points onto the session facade.
 """
 
+from repro.api import (
+    DatabaseHandle,
+    RegenConfig,
+    Session,
+    SummaryHandle,
+    available_backends,
+    register_backend,
+)
 from repro.benchdata import (
     complex_workload,
     generate_database,
@@ -60,6 +71,13 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ReproError",
+    # unified api facade
+    "Session",
+    "RegenConfig",
+    "SummaryHandle",
+    "DatabaseHandle",
+    "register_backend",
+    "available_backends",
     # schema
     "Schema",
     "Relation",

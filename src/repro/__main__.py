@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro <command> ...`` (see :mod:`repro.cli`)."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

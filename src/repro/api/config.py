@@ -1,0 +1,188 @@
+"""The one canonical configuration of the regeneration pipeline.
+
+Before :class:`RegenConfig`, result-affecting knobs were scattered across
+``HydraConfig``, ``DataSynthConfig``, ``ParallelLPSolver``, ``Executor`` and
+``RegenerationService``, each with its own defaults and calling convention.
+``RegenConfig`` consolidates every knob in one frozen (hashable, immutable)
+dataclass from which the per-engine configs are *derived*, and it is the
+canonical input to store-fingerprint namespacing: two sessions whose configs
+differ in a result-affecting knob can never share a store entry, while
+performance-only knobs (workers, cache sizes, batch size) never split the
+store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # the engine configs are derived lazily to avoid cycles
+    from repro.datasynth.pipeline import DataSynthConfig
+    from repro.hydra.pipeline import HydraConfig
+
+from repro.engine.executor import EXECUTOR_MODES
+from repro.errors import ConfigError
+from repro.lp.formulate import STRATEGY_GRID, STRATEGY_REGION
+from repro.lp.solver import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_MILP_TIME_LIMIT,
+    DEFAULT_MILP_VARIABLE_LIMIT,
+    DEFAULT_WORKERS,
+)
+
+#: Default number of tuples per streamed batch (mirrors
+#: :data:`repro.tuplegen.generator.DEFAULT_BATCH_SIZE` without importing the
+#: generator — config must stay import-light).
+DEFAULT_BATCH_SIZE = 65_536
+
+#: Engines shipped with the library (more can be added via
+#: :func:`repro.api.register_backend`).
+BUILTIN_ENGINES = ("hydra", "datasynth")
+
+
+@dataclass(frozen=True)
+class RegenConfig:
+    """Every knob of the regeneration pipeline, in one frozen object.
+
+    Result-affecting knobs (they change the produced summary/database and
+    therefore namespace store fingerprints):
+
+    * ``strategy`` — ``"region"`` (Hydra proper) or ``"grid"`` (the
+      DataSynth-style formulation);
+    * ``prefer_integer`` — ask for an exactly integral LP solution first;
+    * ``milp_variable_limit`` / ``time_limit`` — bounds of the exact MILP
+      pass (per connected component);
+    * ``max_grid_variables`` / ``max_region_variables`` — partitioning
+      budgets;
+    * ``seed`` — the DataSynth sampling seed.
+
+    Error-mode knob: ``strict`` raises
+    :class:`~repro.errors.InfeasibleLPError` on residual constraint
+    violation instead of reporting it in the diagnostics (same values on
+    success, so it does not namespace fingerprints).
+
+    Performance-only knobs (never fingerprinted): ``workers``,
+    ``cache_size``, ``use_processes``, ``batch_size``, ``executor_mode``,
+    ``max_workers``, ``max_pending``.
+    """
+
+    engine: str = "hydra"
+    # -- result-affecting pipeline knobs ------------------------------- #
+    strategy: str = STRATEGY_REGION
+    prefer_integer: bool = True
+    milp_variable_limit: int = DEFAULT_MILP_VARIABLE_LIMIT
+    time_limit: Optional[float] = DEFAULT_MILP_TIME_LIMIT
+    max_grid_variables: int = 200_000
+    max_region_variables: int = 8_000
+    seed: int = 7
+    # -- error mode ---------------------------------------------------- #
+    strict: bool = False
+    # -- performance knobs --------------------------------------------- #
+    workers: int = DEFAULT_WORKERS
+    cache_size: int = DEFAULT_CACHE_SIZE
+    use_processes: bool = False
+    batch_size: int = DEFAULT_BATCH_SIZE
+    executor_mode: str = "pipelined"
+    # -- serving knobs ------------------------------------------------- #
+    max_workers: int = 2
+    max_pending: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in (STRATEGY_REGION, STRATEGY_GRID):
+            raise ConfigError(
+                f"unknown strategy {self.strategy!r}; expected"
+                f" {STRATEGY_REGION!r} or {STRATEGY_GRID!r}"
+            )
+        if self.executor_mode not in EXECUTOR_MODES:
+            raise ConfigError(
+                f"unknown executor mode {self.executor_mode!r};"
+                f" expected one of {EXECUTOR_MODES}"
+            )
+        for knob in ("workers", "max_workers", "batch_size"):
+            if getattr(self, knob) < 1:
+                raise ConfigError(f"{knob} must be at least 1")
+        for knob in ("cache_size", "milp_variable_limit", "max_grid_variables",
+                     "max_region_variables"):
+            if getattr(self, knob) < 0:
+                raise ConfigError(f"{knob} must be non-negative")
+        if self.max_pending is not None and self.max_pending < 0:
+            raise ConfigError("max_pending must be non-negative (or None)")
+
+    # ------------------------------------------------------------------ #
+    # derivation of the per-engine configs
+    # ------------------------------------------------------------------ #
+    def replace(self, **changes: object) -> "RegenConfig":
+        """A copy with the given knobs changed (the config is frozen)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def hydra_config(self) -> "HydraConfig":
+        """Derive the :class:`~repro.hydra.pipeline.HydraConfig` slice."""
+        from repro.hydra.pipeline import HydraConfig
+
+        return HydraConfig(
+            strategy=self.strategy,
+            prefer_integer=self.prefer_integer,
+            milp_variable_limit=self.milp_variable_limit,
+            time_limit=self.time_limit,
+            max_grid_variables=self.max_grid_variables,
+            max_region_variables=self.max_region_variables,
+            workers=self.workers,
+            cache_size=self.cache_size,
+            use_processes=self.use_processes,
+            strict=self.strict,
+        )
+
+    def datasynth_config(self) -> "DataSynthConfig":
+        """Derive the :class:`~repro.datasynth.pipeline.DataSynthConfig`
+        slice (``time_limit`` only affects the MILP pass, which DataSynth's
+        continuous formulation never takes, so it is passed through
+        verbatim)."""
+        from repro.datasynth.pipeline import DataSynthConfig
+
+        return DataSynthConfig(
+            max_grid_variables=self.max_grid_variables,
+            seed=self.seed,
+            time_limit=self.time_limit,
+            workers=self.workers,
+            cache_size=self.cache_size,
+            strict=self.strict,
+        )
+
+    @classmethod
+    def from_hydra_config(cls, config: "HydraConfig", **serving: object) -> "RegenConfig":
+        """Lift a legacy :class:`HydraConfig` into a :class:`RegenConfig`.
+
+        The derived config round-trips: ``RegenConfig.from_hydra_config(c)
+        .hydra_config() == c``, so legacy and new-style callers compute the
+        same store fingerprints.
+        """
+        return cls(
+            engine="hydra",
+            strategy=config.strategy,
+            prefer_integer=config.prefer_integer,
+            milp_variable_limit=config.milp_variable_limit,
+            time_limit=config.time_limit,
+            max_grid_variables=config.max_grid_variables,
+            max_region_variables=config.max_region_variables,
+            workers=config.workers,
+            cache_size=config.cache_size,
+            use_processes=config.use_processes,
+            strict=config.strict,
+            **serving,  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_datasynth_config(cls, config: "DataSynthConfig",
+                              **serving: object) -> "RegenConfig":
+        """Lift a legacy :class:`DataSynthConfig` into a :class:`RegenConfig`."""
+        return cls(
+            engine="datasynth",
+            max_grid_variables=config.max_grid_variables,
+            seed=config.seed,
+            time_limit=config.time_limit,
+            workers=config.workers,
+            cache_size=config.cache_size,
+            strict=config.strict,
+            **serving,  # type: ignore[arg-type]
+        )

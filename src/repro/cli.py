@@ -1,0 +1,267 @@
+"""The unified command-line front-end: ``python -m repro <command>``.
+
+Five commands, all built on the :class:`repro.api.Session` facade and the
+deterministic TPC-DS-like benchmark environment (``--scale``, ``--queries``,
+``--workload`` and the seeds fully determine the workload, so two processes
+passing the same flags compute the same store fingerprint):
+
+* ``summarize``  — build the benchmark workload's summary into the store
+  (one process pays the LP solves; replaces ``repro.service warm``);
+* ``regenerate`` — regenerate the database from a summary and report (or
+  stream) its relations, optionally at a different ``--scale-factor``;
+* ``verify``     — run the full loop (extract → summarize → regenerate →
+  verify) and print the volumetric-similarity report;
+* ``serve``      — stream a relation through the serving front-end
+  (``--require-warm`` exits :data:`EXIT_NOT_WARM` if the request is not
+  already stored — the CI smoke job's cross-process zero-solve assertion);
+* ``stats``      — print store counters (``--entries`` lists the stored
+  summaries, replacing ``repro.service inspect``).
+
+``python -m repro.service`` remains as a deprecated alias that delegates
+here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.api.backends import available_backends
+from repro.api.config import DEFAULT_BATCH_SIZE, RegenConfig
+from repro.api.session import Session
+from repro.constraints.workload import ConstraintSet
+from repro.errors import ServiceError
+from repro.schema.schema import Schema
+
+#: ``serve --require-warm`` exit code when the store could not serve the
+#: request without running the pipeline.
+EXIT_NOT_WARM = 3
+
+
+def _benchmark_environment(args: argparse.Namespace) -> Tuple[Schema, ConstraintSet, "Workload", "Database"]:
+    """Rebuild the deterministic benchmark environment named by the flags."""
+    from repro.benchdata.datagen import generate_database
+    from repro.benchdata.tpcds import complex_workload, simple_workload, tpcds_schema
+    from repro.hydra.client import extract_constraints
+
+    schema = tpcds_schema(scale_factor=args.scale)
+    database = generate_database(schema, seed=args.datagen_seed)
+    factory = complex_workload if args.workload == "complex" else simple_workload
+    workload = factory(schema, num_queries=args.queries, seed=args.workload_seed)
+    package = extract_constraints(database, workload)
+    return schema, package.constraints, workload, database
+
+
+def _session(args: argparse.Namespace, schema: Schema) -> Session:
+    config = RegenConfig(engine=args.engine, workers=args.workers)
+    return Session(schema, config=config, store=getattr(args, "store", None))
+
+
+def _print_stats(service: "RegenerationService") -> None:
+    stats = service.stats()
+    keys = ("requests", "hits", "misses", "inflight_dedup",
+            "rejected_submissions", "pipeline_runs", "batches_streamed",
+            "solver_components_solved", "solver_cache_hits",
+            "solver_cache_misses", "summaries", "components", "store_bytes",
+            "corrupt_entries")
+    print(" ".join(f"{key}={stats.get(key, 0)}" for key in keys))
+
+
+# ---------------------------------------------------------------------- #
+# commands
+# ---------------------------------------------------------------------- #
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    schema, constraints, _, _ = _benchmark_environment(args)
+    session = _session(args, schema)
+    with session.serve() as service:
+        ticket = service.submit(constraints)
+        summary = ticket.result()
+        print(f"fingerprint={ticket.fingerprint}")
+        print(f"warm={ticket.warm} relations={len(summary.relations)}"
+              f" total_rows={summary.total_rows()} summary_bytes={summary.nbytes()}")
+        _print_stats(service)
+    return 0
+
+
+def _cmd_regenerate(args: argparse.Namespace) -> int:
+    if args.fingerprint is not None:
+        # Loading a stored fingerprint needs no client database or workload
+        # re-derivation — only the schema shape.
+        from repro.benchdata.tpcds import tpcds_schema
+
+        session = _session(args, tpcds_schema(scale_factor=args.scale))
+        handle = session.load(args.fingerprint)
+    else:
+        schema, constraints, _, _ = _benchmark_environment(args)
+        session = _session(args, schema)
+        handle = session.summarize(constraints)
+    database = session.regenerate(handle, scale=args.scale_factor,
+                                  batch_size=args.batch_size)
+    print(f"fingerprint={handle.fingerprint} engine={handle.engine}"
+          f" warm={handle.from_store} scale_factor={database.scale}")
+    for relation, rows in sorted(database.row_counts().items()):
+        print(f"  relation={relation} rows={rows}")
+    if args.relation is not None:
+        rows = 0
+        batches = 0
+        for batch in database.stream(args.relation, batch_size=args.batch_size):
+            rows += batch.num_rows
+            batches += 1
+            if args.max_batches is not None and batches >= args.max_batches:
+                break
+        print(f"streamed relation={args.relation} batches={batches} rows={rows}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    schema, constraints, _, _ = _benchmark_environment(args)
+    session = _session(args, schema)
+    handle = session.summarize(constraints)
+    database = session.regenerate(handle, scale=args.scale_factor)
+    report = session.verify(database)
+    print(f"fingerprint={handle.fingerprint} engine={handle.engine}"
+          f" warm={handle.from_store}")
+    print(f"verified constraints={len(report.results)}"
+          f" max_error={report.max_error():.6f}"
+          f" fraction_exact={report.fraction_exact():.4f}"
+          f" fraction_within_10pct={report.fraction_within(0.1):.4f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.fingerprint is not None:
+        # Serving a stored fingerprint needs no client database or workload
+        # re-derivation — only the schema shape.
+        from repro.benchdata.tpcds import tpcds_schema
+
+        schema, constraints = tpcds_schema(scale_factor=args.scale), None
+    else:
+        schema, constraints, _, _ = _benchmark_environment(args)
+    session = _session(args, schema)
+    with session.serve() as service:
+        fingerprint = args.fingerprint or service.fingerprint(constraints)
+        warm = service.store.has_summary(fingerprint)
+        if not warm and (args.require_warm or constraints is None):
+            print(f"fingerprint={fingerprint} is not in the store; refusing to"
+                  " run the pipeline", file=sys.stderr)
+            return EXIT_NOT_WARM
+        request: "ConstraintSet | str" = fingerprint if warm else constraints
+        rows = 0
+        batches = 0
+        for batch in service.stream(request, args.relation,
+                                    batch_size=args.batch_size):
+            rows += batch.num_rows
+            batches += 1
+            if args.max_batches is not None and batches >= args.max_batches:
+                break
+        print(f"fingerprint={fingerprint}")
+        print(f"served relation={args.relation} batches={batches} rows={rows}"
+              f" warm={warm}")
+        _print_stats(service)
+        if args.require_warm and service.stats()["pipeline_runs"] > 0:
+            print("pipeline ran despite --require-warm", file=sys.stderr)
+            return EXIT_NOT_WARM
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.service.store import SummaryStore
+
+    store = SummaryStore(args.store)
+    if args.entries:
+        entries = store.entries()
+        print(f"store={args.store} format=1 summaries={len(entries)}"
+              f" store_bytes={store.store_bytes()}")
+        for entry in entries:
+            fingerprint = entry.pop("fingerprint")
+            detail = " ".join(f"{k}={v}" for k, v in sorted(entry.items()))
+            print(f"  {fingerprint} {detail}")
+        return 0
+    print(" ".join(f"{key}={value}" for key, value in sorted(store.counters().items())))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# parser
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Summarize, regenerate, verify and serve benchmark"
+                    " workloads through the repro.api session facade.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_env(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", type=float, default=0.0002,
+                       help="TPC-DS scale factor of the client instance")
+        p.add_argument("--queries", type=int, default=10,
+                       help="number of workload queries")
+        p.add_argument("--workload", choices=("simple", "complex"),
+                       default="simple")
+        p.add_argument("--workload-seed", type=int, default=3)
+        p.add_argument("--datagen-seed", type=int, default=7)
+        p.add_argument("--workers", type=int, default=2,
+                       help="LP solver workers for cold builds")
+        p.add_argument("--engine", choices=available_backends(),
+                       default="hydra", help="pipeline backend")
+
+    summarize = sub.add_parser(
+        "summarize", help="build the benchmark workload's summary into the store")
+    summarize.add_argument("--store", required=True, help="store directory")
+    add_env(summarize)
+    summarize.set_defaults(func=_cmd_summarize)
+
+    regenerate = sub.add_parser(
+        "regenerate", help="regenerate the database from a summary")
+    regenerate.add_argument("--store", default=None, help="store directory")
+    add_env(regenerate)
+    regenerate.add_argument("--fingerprint", default=None,
+                            help="load this stored fingerprint instead of"
+                                 " building the benchmark summary")
+    regenerate.add_argument("--scale-factor", type=float, default=None,
+                            help="regenerate at this multiple of the"
+                                 " summarized volume")
+    regenerate.add_argument("--relation", default=None,
+                            help="also stream this relation in batches")
+    regenerate.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
+    regenerate.add_argument("--max-batches", type=int, default=None)
+    regenerate.set_defaults(func=_cmd_regenerate)
+
+    verify = sub.add_parser(
+        "verify", help="extract, summarize, regenerate and verify end to end")
+    verify.add_argument("--store", default=None, help="store directory")
+    add_env(verify)
+    verify.add_argument("--scale-factor", type=float, default=None)
+    verify.set_defaults(func=_cmd_verify)
+
+    serve = sub.add_parser(
+        "serve", help="stream a relation through the serving front-end")
+    serve.add_argument("--store", required=True, help="store directory")
+    add_env(serve)
+    serve.add_argument("--relation", required=True)
+    serve.add_argument("--fingerprint", default=None,
+                       help="serve this stored fingerprint instead of"
+                            " recomputing it from the benchmark flags")
+    serve.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
+    serve.add_argument("--max-batches", type=int, default=None)
+    serve.add_argument("--require-warm", action="store_true",
+                       help="exit non-zero instead of running the pipeline")
+    serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser("stats", help="print store counters")
+    stats.add_argument("--store", required=True, help="store directory")
+    stats.add_argument("--entries", action="store_true",
+                       help="also list the stored summaries")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

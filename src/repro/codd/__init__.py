@@ -13,6 +13,7 @@ from repro.codd.scaling import (
     database_bytes,
     scale_constraints,
     scale_factor_for_bytes,
+    scale_summary,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "database_bytes",
     "scale_factor_for_bytes",
     "scale_constraints",
+    "scale_summary",
 ]

@@ -8,10 +8,13 @@ These helpers implement that arithmetic for this reproduction.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from bisect import bisect_left
+from typing import Dict, List, Optional
 
 from repro.constraints.workload import ConstraintSet
+from repro.errors import SummaryError
 from repro.schema.schema import Schema
+from repro.summary.relation_summary import DatabaseSummary, RelationSummary
 
 #: Rough number of bytes a single stored value occupies, used to convert
 #: between target database sizes and row-count scale factors.
@@ -49,4 +52,71 @@ def scale_constraints(ccs: ConstraintSet, factor: float, name: Optional[str] = N
     scaled = ccs.scaled(factor)
     if name is not None:
         scaled.name = name
+    return scaled
+
+
+def scale_summary(summary: DatabaseSummary, schema: Schema,
+                  factor: float) -> DatabaseSummary:
+    """Scale a database summary's regenerated volume by ``factor``.
+
+    Summaries are scale-free: blowing the database up (or down) only touches
+    the per-summary-row tuple counts, never the value combinations, so the
+    cost is proportional to the summary size — the Section 7.4 arithmetic
+    applied to the summary itself rather than to metadata.
+
+    Every row count becomes ``max(round(count * factor), 1)`` (non-empty
+    summary rows stay non-empty, so referenced combinations never vanish).
+    Foreign-key values are prefix counts into the referenced relation's
+    summary; they are remapped onto the *scaled* prefix counts of the same
+    summary rows, which preserves referential integrity at any factor.
+    """
+    if factor <= 0:
+        raise SummaryError(f"scale factor must be positive, got {factor}")
+    scaled = DatabaseSummary(
+        extra_tuples=dict(summary.extra_tuples),
+        lp_variable_counts=dict(summary.lp_variable_counts),
+        timings=dict(summary.timings),
+    )
+    old_prefix: Dict[str, List[int]] = {}
+    new_prefix: Dict[str, List[int]] = {}
+    for name, relation_summary in summary.relations.items():
+        counts = [max(int(round(count * factor)), 1)
+                  for _, count in relation_summary.rows]
+        old_prefix[name] = relation_summary.prefix_counts()
+        running = 0
+        prefix: List[int] = []
+        for count in counts:
+            running += count
+            prefix.append(running)
+        new_prefix[name] = prefix
+        scaled.relations[name] = RelationSummary(
+            relation=name,
+            primary_key=relation_summary.primary_key,
+            columns=relation_summary.columns,
+            rows=[(values, count)
+                  for (values, _), count in zip(relation_summary.rows, counts)],
+        )
+    for name, relation_summary in scaled.relations.items():
+        rel = schema.relation(name)
+        fk_positions = [
+            (relation_summary.column_index(fk.column), fk.target)
+            for fk in rel.foreign_keys if fk.target in scaled.relations
+        ]
+        if not fk_positions:
+            continue
+        remapped = []
+        for values, count in relation_summary.rows:
+            row = list(values)
+            for position, target in fk_positions:
+                # The old value addresses a summary row of the target; keep
+                # addressing the same row under the scaled prefix counts.
+                index = bisect_left(old_prefix[target], row[position])
+                if index >= len(new_prefix[target]):
+                    raise SummaryError(
+                        f"foreign key {row[position]} of {name!r} is outside"
+                        f" {target!r}'s {old_prefix[target][-1] if old_prefix[target] else 0} rows"
+                    )
+                row[position] = new_prefix[target][index]
+            remapped.append((tuple(row), count))
+        relation_summary.rows = remapped
     return scaled

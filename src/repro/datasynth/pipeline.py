@@ -54,6 +54,7 @@ class DataSynthConfig:
     time_limit: Optional[float] = None
     workers: int = 1
     cache_size: int = DEFAULT_CACHE_SIZE
+    strict: bool = False
 
 
 @dataclass
@@ -109,7 +110,20 @@ class DataSynth:
     """
 
     def __init__(self, schema: Schema, config: Optional[DataSynthConfig] = None,
-                 store: Optional["SummaryStore"] = None) -> None:
+                 store: Optional["SummaryStore"] = None, **knobs: object) -> None:
+        if knobs:
+            # Deprecated loose-kwargs call path, mirroring Hydra's shim.
+            import warnings
+
+            warnings.warn(
+                "passing tuning knobs as keyword arguments to DataSynth() is"
+                " deprecated; use DataSynth(schema, config=DataSynthConfig(...))"
+                " or repro.api.Session(schema, config=RegenConfig(...))",
+                DeprecationWarning, stacklevel=2,
+            )
+            if config is not None:
+                raise TypeError("pass either config= or loose knobs, not both")
+            config = DataSynthConfig(**knobs)  # type: ignore[arg-type]
         self.schema = schema
         self.config = config or DataSynthConfig()
         self.store = store
@@ -121,6 +135,7 @@ class DataSynth:
             cache_size=self.config.cache_size,
             prefer_integer=False,
             time_limit=self.config.time_limit,
+            strict=self.config.strict,
             cache_backend=(
                 store.solution_cache(self.config.cache_size) if store is not None
                 else None

@@ -75,6 +75,19 @@ class ServiceError(ReproError):
     fingerprint, submission after shutdown, ...)."""
 
 
+class ServiceOverloadedError(ServiceError):
+    """The service rejected a cold submission because its ``max_pending``
+    backpressure limit was reached; retry later or raise the limit."""
+
+
+class UnknownBackendError(ReproError):
+    """No pipeline backend is registered under the requested engine name."""
+
+
+class ConfigError(ReproError):
+    """A :class:`~repro.api.RegenConfig` knob is out of its valid range."""
+
+
 class SummaryStoreError(ServiceError):
     """A summary store is unreadable: unknown format version, corrupted or
     partially written entry files, or a missing store directory."""

@@ -78,6 +78,9 @@ class HydraConfig:
         repeated builds over identical constraint sets skip their solves.
     use_processes:
         Use a process pool instead of threads for component solves.
+    strict:
+        Raise :class:`~repro.errors.InfeasibleLPError` on residual constraint
+        violation instead of reporting it in the diagnostics.
     """
 
     strategy: str = STRATEGY_REGION
@@ -89,6 +92,7 @@ class HydraConfig:
     workers: int = DEFAULT_WORKERS
     cache_size: int = DEFAULT_CACHE_SIZE
     use_processes: bool = False
+    strict: bool = False
 
 
 @dataclass
@@ -168,7 +172,22 @@ class Hydra:
     """
 
     def __init__(self, schema: Schema, config: Optional[HydraConfig] = None,
-                 store: Optional["SummaryStore"] = None) -> None:
+                 store: Optional["SummaryStore"] = None, **knobs: object) -> None:
+        if knobs:
+            # Deprecated loose-kwargs call path (``Hydra(schema, workers=4)``);
+            # the supported spellings are an explicit HydraConfig or the
+            # repro.api Session facade.
+            import warnings
+
+            warnings.warn(
+                "passing tuning knobs as keyword arguments to Hydra() is"
+                " deprecated; use Hydra(schema, config=HydraConfig(...)) or"
+                " repro.api.Session(schema, config=RegenConfig(...))",
+                DeprecationWarning, stacklevel=2,
+            )
+            if config is not None:
+                raise TypeError("pass either config= or loose knobs, not both")
+            config = HydraConfig(**knobs)  # type: ignore[arg-type]
         self.schema = schema
         self.config = config or HydraConfig()
         self.store = store
@@ -180,6 +199,7 @@ class Hydra:
             milp_variable_limit=self.config.milp_variable_limit,
             time_limit=self.config.time_limit,
             use_processes=self.config.use_processes,
+            strict=self.config.strict,
             cache_backend=(
                 store.solution_cache(self.config.cache_size) if store is not None
                 else None

@@ -13,10 +13,11 @@ one-shot pipeline into a reusable serving system:
   processes;
 * :mod:`repro.service.service` — :class:`RegenerationService`, a concurrent
   front-end (``submit``/``summarize``/``stream``/``stats``) that deduplicates
-  identical in-flight requests and serves warm requests straight from the
-  store without touching the LP solver;
-* :mod:`repro.service.cli` — ``python -m repro.service`` to warm, inspect and
-  serve a store from the command line.
+  identical in-flight requests, serves warm requests straight from the store
+  without touching the LP solver, rejects cold overload via ``max_pending``
+  and routes cold builds through the :mod:`repro.api.backends` registry;
+* :mod:`repro.service.cli` — deprecated alias of the unified
+  ``python -m repro`` CLI (see :mod:`repro.cli`).
 """
 
 from repro.service.fingerprint import (

@@ -1,179 +1,54 @@
-"""Command-line front-end for summary stores: ``python -m repro.service``.
+"""Deprecated alias: ``python -m repro.service`` → ``python -m repro``.
 
-Four commands over one ``--store`` directory:
+The store CLI moved to the unified :mod:`repro.cli` front-end built on the
+:class:`repro.api.Session` facade.  This shim keeps the old entry point
+working — it emits one :class:`DeprecationWarning`, maps the old command
+names onto the new ones and delegates:
 
-* ``warm``    — build the TPC-DS-like benchmark workload's summary into the
-  store (one process pays the LP solves);
-* ``inspect`` — list stored summaries and store health;
-* ``serve``   — regenerate a relation from the store in streamed batches
-  (``--require-warm`` exits non-zero if the request was not already stored,
-  which is how the CI smoke job asserts cross-process serving needs zero LP
-  solves);
-* ``stats``   — print the serving counters.
+========== ======================
+old        new
+========== ======================
+``warm``    ``summarize``
+``serve``   ``serve``
+``inspect`` ``stats --entries``
+``stats``   ``stats``
+========== ======================
 
-The benchmark environment is fully determined by ``--scale``, ``--queries``,
-``--workload`` and the seeds, so a second process passing the same flags
-recomputes the same workload fingerprint and hits the entries the first
-process wrote.
+All flags are unchanged (both parsers accept the same names), so existing
+invocations keep their behaviour and exit codes — including ``serve
+--require-warm`` exiting :data:`EXIT_NOT_WARM`.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
+import warnings
 from typing import List, Optional
 
-from repro.constraints.workload import ConstraintSet
-from repro.hydra.pipeline import HydraConfig
-from repro.schema.schema import Schema
-from repro.service.service import RegenerationService
-from repro.service.store import SummaryStore
+from repro.cli import EXIT_NOT_WARM, main as _unified_main
 
-#: ``serve --require-warm`` exit code when the store could not serve the
-#: request without running the pipeline.
-EXIT_NOT_WARM = 3
+__all__ = ["EXIT_NOT_WARM", "main"]
 
-
-def _benchmark_request(args: argparse.Namespace) -> "tuple[Schema, ConstraintSet]":
-    """Rebuild the deterministic benchmark environment named by the flags."""
-    from repro.benchdata.datagen import generate_database
-    from repro.benchdata.tpcds import complex_workload, simple_workload, tpcds_schema
-    from repro.hydra.client import extract_constraints
-
-    schema = tpcds_schema(scale_factor=args.scale)
-    database = generate_database(schema, seed=args.datagen_seed)
-    factory = complex_workload if args.workload == "complex" else simple_workload
-    workload = factory(schema, num_queries=args.queries, seed=args.workload_seed)
-    package = extract_constraints(database, workload)
-    return schema, package.constraints
-
-
-def _print_stats(service: RegenerationService) -> None:
-    stats = service.stats()
-    keys = ("requests", "hits", "misses", "inflight_dedup", "pipeline_runs",
-            "batches_streamed", "solver_components_solved", "solver_cache_hits",
-            "solver_cache_misses", "summaries", "components", "store_bytes",
-            "corrupt_entries")
-    print(" ".join(f"{key}={stats.get(key, 0)}" for key in keys))
-
-
-def _cmd_warm(args: argparse.Namespace) -> int:
-    schema, constraints = _benchmark_request(args)
-    with RegenerationService(schema, store=args.store,
-                             config=HydraConfig(workers=args.workers)) as service:
-        ticket = service.submit(constraints)
-        summary = ticket.result()
-        print(f"fingerprint={ticket.fingerprint}")
-        print(f"warm={ticket.warm} relations={len(summary.relations)}"
-              f" total_rows={summary.total_rows()} summary_bytes={summary.nbytes()}")
-        _print_stats(service)
-    return 0
-
-
-def _cmd_inspect(args: argparse.Namespace) -> int:
-    store = SummaryStore(args.store)
-    entries = store.entries()
-    print(f"store={args.store} format=1 summaries={len(entries)}"
-          f" store_bytes={store.store_bytes()}")
-    for entry in entries:
-        fingerprint = entry.pop("fingerprint")
-        detail = " ".join(f"{k}={v}" for k, v in sorted(entry.items()))
-        print(f"  {fingerprint} {detail}")
-    return 0
-
-
-def _cmd_serve(args: argparse.Namespace) -> int:
-    if args.fingerprint is not None:
-        # Serving a stored fingerprint needs no client database or workload
-        # re-derivation — only the schema shape.
-        from repro.benchdata.tpcds import tpcds_schema
-
-        schema, constraints = tpcds_schema(scale_factor=args.scale), None
-    else:
-        schema, constraints = _benchmark_request(args)
-    with RegenerationService(schema, store=args.store,
-                             config=HydraConfig(workers=args.workers)) as service:
-        fingerprint = args.fingerprint or service.fingerprint(constraints)
-        warm = service.store.has_summary(fingerprint)
-        if not warm and (args.require_warm or constraints is None):
-            print(f"fingerprint={fingerprint} is not in the store; refusing to"
-                  " run the pipeline", file=sys.stderr)
-            return EXIT_NOT_WARM
-        request: "ConstraintSet | str" = fingerprint if warm else constraints
-        rows = 0
-        batches = 0
-        for batch in service.stream(request, args.relation,
-                                    batch_size=args.batch_size):
-            rows += batch.num_rows
-            batches += 1
-            if args.max_batches is not None and batches >= args.max_batches:
-                break
-        print(f"fingerprint={fingerprint}")
-        print(f"served relation={args.relation} batches={batches} rows={rows}"
-              f" warm={warm}")
-        _print_stats(service)
-        if args.require_warm and service.stats()["pipeline_runs"] > 0:
-            print("pipeline ran despite --require-warm", file=sys.stderr)
-            return EXIT_NOT_WARM
-    return 0
-
-
-def _cmd_stats(args: argparse.Namespace) -> int:
-    store = SummaryStore(args.store)
-    print(" ".join(f"{key}={value}" for key, value in sorted(store.counters().items())))
-    return 0
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.service",
-        description="Warm, inspect and serve a Hydra summary store.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    def add_common(p: argparse.ArgumentParser, env: bool) -> None:
-        p.add_argument("--store", required=True, help="store directory")
-        if env:
-            p.add_argument("--scale", type=float, default=0.0002,
-                           help="TPC-DS scale factor of the client instance")
-            p.add_argument("--queries", type=int, default=10,
-                           help="number of workload queries")
-            p.add_argument("--workload", choices=("simple", "complex"),
-                           default="simple")
-            p.add_argument("--workload-seed", type=int, default=3)
-            p.add_argument("--datagen-seed", type=int, default=7)
-            p.add_argument("--workers", type=int, default=2,
-                           help="LP solver workers for cold builds")
-
-    warm = sub.add_parser("warm", help="build the benchmark workload's summary")
-    add_common(warm, env=True)
-    warm.set_defaults(func=_cmd_warm)
-
-    inspect = sub.add_parser("inspect", help="list stored summaries")
-    add_common(inspect, env=False)
-    inspect.set_defaults(func=_cmd_inspect)
-
-    serve = sub.add_parser("serve", help="stream a relation from the store")
-    add_common(serve, env=True)
-    serve.add_argument("--relation", required=True)
-    serve.add_argument("--fingerprint", default=None,
-                       help="serve this stored fingerprint instead of"
-                            " recomputing it from the benchmark flags")
-    serve.add_argument("--batch-size", type=int, default=65_536)
-    serve.add_argument("--max-batches", type=int, default=None)
-    serve.add_argument("--require-warm", action="store_true",
-                       help="exit non-zero instead of running the pipeline")
-    serve.set_defaults(func=_cmd_serve)
-
-    stats = sub.add_parser("stats", help="print store counters")
-    add_common(stats, env=False)
-    stats.set_defaults(func=_cmd_stats)
-    return parser
+#: Old command → new command token(s).
+_COMMAND_MAP = {
+    "warm": ["summarize"],
+    "inspect": ["stats", "--entries"],
+    "serve": ["serve"],
+    "stats": ["stats"],
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    """Delegate an old-style invocation to :func:`repro.cli.main`."""
+    warnings.warn(
+        "python -m repro.service is deprecated; use python -m repro"
+        " (warm -> summarize, inspect -> stats --entries)",
+        DeprecationWarning, stacklevel=2,
+    )
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _COMMAND_MAP:
+        argv = _COMMAND_MAP[argv[0]] + argv[1:]
+    return _unified_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,8 +1,9 @@
 """The concurrent regeneration serving front-end.
 
-:class:`RegenerationService` sits in front of the Hydra pipeline and a
-:class:`~repro.service.store.SummaryStore` and turns one-shot summary builds
-into a request/serve loop:
+:class:`RegenerationService` sits in front of a pipeline backend (selected
+by name from the :mod:`repro.api.backends` registry — Hydra by default) and
+a :class:`~repro.service.store.SummaryStore` and turns one-shot summary
+builds into a request/serve loop:
 
 * ``submit(workload)`` returns a :class:`Ticket` immediately; identical
   requests already in flight are *single-flighted* — they attach to the
@@ -23,13 +24,16 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.api.backends import create_backend
+from repro.api.config import RegenConfig
 from repro.constraints.workload import ConstraintSet
+from repro.datasynth.pipeline import DataSynthConfig
 from repro.engine.database import Database
 from repro.engine.executor import Executor
 from repro.engine.plan import AnnotatedQueryPlan
 from repro.engine.table import Table
-from repro.errors import ServiceError
-from repro.hydra.pipeline import Hydra, HydraConfig
+from repro.errors import ServiceError, ServiceOverloadedError
+from repro.hydra.pipeline import HydraConfig
 from repro.metrics.similarity import SimilarityReport, evaluate_with_executor
 from repro.schema.schema import Schema
 from repro.service.store import SummaryStore
@@ -92,21 +96,55 @@ class RegenerationService:
         A :class:`SummaryStore`, a directory path to open one at, or ``None``
         for an ephemeral memory-only store.
     config:
-        Hydra tuning knobs for cold builds.
+        A :class:`~repro.api.RegenConfig` (the canonical spelling), or a
+        legacy :class:`HydraConfig` / :class:`DataSynthConfig`, which is
+        lifted into the equivalent ``RegenConfig`` (same fingerprints).
     max_workers:
         Concurrent cold pipeline builds (warm requests and streaming never
         occupy a worker).
+    engine:
+        Name of the pipeline backend cold builds route through (anything in
+        :func:`repro.api.available_backends`); defaults to the config's
+        engine selection.
+    max_pending:
+        Backpressure: maximum number of cold builds queued or running at
+        once.  Further cold submissions raise
+        :class:`~repro.errors.ServiceOverloadedError` (warm requests and
+        in-flight dedup are always admitted — they add no pipeline load).
+        ``None`` disables the limit.
     """
 
     def __init__(self, schema: Schema,
                  store: Union[SummaryStore, str, Path, None] = None,
-                 config: Optional[HydraConfig] = None,
-                 max_workers: int = 2) -> None:
+                 config: Union[RegenConfig, HydraConfig, DataSynthConfig, None] = None,
+                 max_workers: int = 2,
+                 engine: Optional[str] = None,
+                 max_pending: Optional[int] = None) -> None:
         if max_workers < 1:
             raise ServiceError("RegenerationService needs at least one worker")
+        if max_pending is not None and max_pending < 0:
+            raise ServiceError("max_pending must be non-negative (or None)")
         self.schema = schema
         self.store = store if isinstance(store, SummaryStore) else SummaryStore(store)
-        self.hydra = Hydra(schema, config, store=self.store)
+        if config is None:
+            self.config = RegenConfig()
+        elif isinstance(config, RegenConfig):
+            self.config = config
+        elif isinstance(config, HydraConfig):
+            self.config = RegenConfig.from_hydra_config(config)
+        elif isinstance(config, DataSynthConfig):
+            self.config = RegenConfig.from_datasynth_config(config)
+        else:
+            raise ServiceError(
+                f"unsupported config type {type(config).__name__};"
+                " pass a RegenConfig, HydraConfig or DataSynthConfig"
+            )
+        self.engine = engine or self.config.engine
+        self.backend = create_backend(self.engine, schema, self.config, self.store)
+        #: Back-compat alias: the wrapped engine object (a ``Hydra`` for the
+        #: default backend — tests and tooling patch ``hydra.build_summary``).
+        self.hydra = self.backend.pipeline
+        self.max_pending = max_pending
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="regen"
         )
@@ -118,6 +156,7 @@ class RegenerationService:
             "hits": 0,            # served warm (store, no pipeline)
             "misses": 0,          # cold: triggered a pipeline run
             "inflight_dedup": 0,  # attached to an identical in-flight build
+            "rejected_submissions": 0,  # max_pending backpressure rejections
             "pipeline_runs": 0,
             "batches_streamed": 0,
             # executor memory telemetry (regenerate-then-verify paths)
@@ -134,11 +173,12 @@ class RegenerationService:
                     relations: Optional[Sequence[str]] = None) -> str:
         """The content fingerprint this service assigns to a request.
 
-        Delegates to the pipeline so the service's dedup/warm detection and
-        the store entries Hydra writes always agree (the fingerprint covers
-        the result-affecting pipeline configuration, not just the workload).
+        Delegates to the backend so the service's dedup/warm detection and
+        the store entries the pipeline writes always agree (the fingerprint
+        covers the engine and its result-affecting configuration, not just
+        the workload).
         """
-        return self.hydra.request_fingerprint(workload, relations)
+        return self.backend.fingerprint(workload, relations)
 
     def submit(self, workload: ConstraintSet,
                relations: Optional[Sequence[str]] = None) -> Ticket:
@@ -147,6 +187,10 @@ class RegenerationService:
         Warm requests resolve synchronously from the store.  Cold requests
         start one pipeline build on the worker pool; identical requests
         submitted while it runs share that single build (single-flight).
+        When ``max_pending`` cold builds are already queued or running, a
+        further cold submission raises
+        :class:`~repro.errors.ServiceOverloadedError` instead of growing the
+        backlog without bound.
         """
         fingerprint = self.fingerprint(workload, relations)
         with self._lock:
@@ -167,6 +211,13 @@ class RegenerationService:
             if summary is not None:
                 self._counters["hits"] += 1
                 return Ticket(fingerprint, _Flight(summary, warm=True))
+            if (self.max_pending is not None
+                    and len(self._flights) >= self.max_pending):
+                self._counters["rejected_submissions"] += 1
+                raise ServiceOverloadedError(
+                    f"{len(self._flights)} cold builds already pending"
+                    f" (max_pending={self.max_pending}); retry later"
+                )
             self._counters["misses"] += 1
             flight = _Flight()
             self._flights[fingerprint] = flight
@@ -184,8 +235,8 @@ class RegenerationService:
         try:
             with self._lock:
                 self._counters["pipeline_runs"] += 1
-            result = self.hydra.build_summary(workload, relations)
-            flight.summary = result.summary
+            build = self.backend.build(workload, relations)
+            flight.summary = build.summary
         except BaseException as error:  # surfaced to every waiter
             flight.error = error
         finally:
@@ -343,11 +394,14 @@ class RegenerationService:
         """Serving counters plus the store's and LP solver's own counters."""
         with self._lock:
             counters = dict(self._counters)
-        solver = self.hydra.solver.stats
+        # Custom backends need not wrap a solver-carrying pipeline; report
+        # zeros rather than crashing the observability path.
+        solver = getattr(getattr(self.backend, "pipeline", None), "solver", None)
+        stats = getattr(solver, "stats", None)
         counters.update({
-            "solver_components_solved": solver.components_solved,
-            "solver_cache_hits": solver.cache_hits,
-            "solver_cache_misses": solver.cache_misses,
+            "solver_components_solved": getattr(stats, "components_solved", 0),
+            "solver_cache_hits": getattr(stats, "cache_hits", 0),
+            "solver_cache_misses": getattr(stats, "cache_misses", 0),
         })
         counters.update(self.store.counters())
         return counters

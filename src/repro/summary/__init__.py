@@ -7,6 +7,8 @@ from repro.summary.relation_summary import (
     DatabaseSummary,
     RelationSummary,
     build_relation_summary,
+    summary_from_database,
+    summary_from_table,
 )
 from repro.summary.solution import (
     SolutionRow,
@@ -29,4 +31,6 @@ __all__ = [
     "RelationSummary",
     "DatabaseSummary",
     "build_relation_summary",
+    "summary_from_database",
+    "summary_from_table",
 ]

@@ -1,0 +1,551 @@
+"""Tests of the unified ``repro.api`` surface.
+
+Covers the acceptance bar of the facade redesign:
+
+* ``Session``-driven end-to-end runs (extract → summarize → regenerate →
+  verify) produce byte-identical summaries and AQP results to the legacy
+  entry points, for both engines, property-tested across batch sizes;
+* ``RegenConfig`` consolidates the knobs, derives the legacy configs
+  loss-lessly and namespaces store fingerprints (result-affecting knobs
+  split the store, performance knobs never do, old-style and new-style
+  spellings of the same config collide on the same fingerprint);
+* the backend registry routes both ``Session`` and ``RegenerationService``,
+  including user-registered engines;
+* ``max_pending`` backpressure rejects cold submissions with
+  ``ServiceOverloadedError`` while warm/deduped requests stay admitted;
+* the deprecation shims (``Hydra(schema, workers=...)``, ``repro.service``
+  CLI) warn once and produce results equal to the new path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DataSynth,
+    DataSynthConfig,
+    Executor,
+    Hydra,
+    HydraConfig,
+    Query,
+    Workload,
+    col,
+    evaluate_on_database,
+    materialize_database,
+)
+from repro.api import (
+    BackendBuild,
+    PipelineBackend,
+    RegenConfig,
+    Session,
+    available_backends,
+    register_backend,
+)
+from repro.errors import (
+    ConfigError,
+    ServiceError,
+    ServiceOverloadedError,
+    UnknownBackendError,
+)
+from repro.service.fingerprint import workload_fingerprint
+from repro.service.service import RegenerationService
+from repro.service.store import SummaryStore
+from repro.summary.relation_summary import DatabaseSummary, RelationSummary
+
+
+# ---------------------------------------------------------------------- #
+# module-scoped toy environment (hypothesis-safe)
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def env(request):
+    """Schema, client database, workload and constraints of the toy scenario."""
+    from repro.benchdata.datagen import generate_database
+    from repro.hydra.client import extract_constraints
+    from repro.predicates.interval import Interval
+    from repro.schema.relation import Attribute, ForeignKey, Relation
+    from repro.schema.schema import Schema
+
+    schema = Schema([
+        Relation("S", primary_key="S_pk", row_count=700,
+                 attributes=[Attribute("A", Interval(0, 100)),
+                             Attribute("B", Interval(0, 50))]),
+        Relation("T", primary_key="T_pk", row_count=1500,
+                 attributes=[Attribute("C", Interval(0, 10))]),
+        Relation("R", primary_key="R_pk", row_count=80_000,
+                 foreign_keys=[ForeignKey("S_fk", "S"),
+                               ForeignKey("T_fk", "T")]),
+    ], name="toy")
+    database = generate_database(schema, seed=11)
+    workload = Workload(name="api-toy", queries=[
+        Query(query_id="q1", root="R", relations=("R", "S", "T"),
+              filters={"S": col("A").between(20, 60),
+                       "T": col("C").between(2, 3)}),
+        Query(query_id="q2", root="R", relations=("R", "S")),
+        Query(query_id="q3", root="S", relations=("S",),
+              filters={"S": col("B").between(0, 25)}),
+    ])
+    constraints = extract_constraints(database, workload).constraints
+    return schema, database, workload, constraints
+
+
+def _relations_json(summary: DatabaseSummary) -> str:
+    """Canonical JSON of the summary's data content (timings excluded)."""
+    return json.dumps(summary.to_dict()["relations"], sort_keys=True)
+
+
+def _cardinalities(plans):
+    return [plan.operator_cardinalities() for plan in plans]
+
+
+# ---------------------------------------------------------------------- #
+# RegenConfig
+# ---------------------------------------------------------------------- #
+class TestRegenConfig:
+    def test_frozen(self):
+        config = RegenConfig()
+        with pytest.raises(Exception):
+            config.workers = 9  # type: ignore[misc]
+
+    def test_replace_returns_new_config(self):
+        config = RegenConfig()
+        other = config.replace(workers=5)
+        assert other.workers == 5 and config.workers == 2
+        assert other is not config
+
+    @pytest.mark.parametrize("knobs", [
+        {"strategy": "diagonal"},
+        {"executor_mode": "vectorized"},
+        {"workers": 0},
+        {"max_workers": 0},
+        {"batch_size": 0},
+        {"cache_size": -1},
+        {"max_pending": -1},
+    ])
+    def test_validation(self, knobs):
+        with pytest.raises(ConfigError):
+            RegenConfig(**knobs)
+
+    def test_hydra_config_round_trip(self):
+        original = HydraConfig(strategy="grid", prefer_integer=False,
+                               milp_variable_limit=123, time_limit=1.5,
+                               workers=7, cache_size=9, use_processes=True,
+                               strict=True)
+        lifted = RegenConfig.from_hydra_config(original)
+        assert lifted.hydra_config() == original
+
+    def test_datasynth_config_round_trip(self):
+        original = DataSynthConfig(max_grid_variables=777, seed=13,
+                                   time_limit=2.0, workers=3, cache_size=5)
+        lifted = RegenConfig.from_datasynth_config(original)
+        assert lifted.datasynth_config() == original
+        assert lifted.engine == "datasynth"
+
+
+# ---------------------------------------------------------------------- #
+# Session end-to-end equivalence with the legacy entry points
+# ---------------------------------------------------------------------- #
+class TestSessionEquivalence:
+    def test_hydra_summary_byte_identical(self, env):
+        schema, _, _, constraints = env
+        handle = Session(schema).summarize(constraints)
+        legacy = Hydra(schema).build_summary(constraints)
+        assert _relations_json(handle.summary) == _relations_json(legacy.summary)
+        assert handle.engine == "hydra" and not handle.from_store
+        assert handle.fingerprint == Hydra(schema).request_fingerprint(constraints)
+
+    def test_datasynth_database_byte_identical(self, env):
+        schema, _, _, constraints = env
+        session = Session(schema)
+        handle = session.summarize(constraints, engine="datasynth")
+        regenerated = session.regenerate(handle).database
+        legacy = DataSynth(schema, DataSynthConfig()).generate(constraints).database
+        for relation in legacy.relations:
+            ours, theirs = regenerated.table(relation), legacy.table(relation)
+            assert ours.column_names == theirs.column_names
+            for column in theirs.column_names:
+                assert np.array_equal(ours.column(column), theirs.column(column)), \
+                    (relation, column)
+
+    @settings(deadline=None, max_examples=6)
+    @given(engine=st.sampled_from(["hydra", "datasynth"]),
+           batch_size=st.sampled_from([1, 7, 65_536]))
+    def test_aqp_results_match_legacy_paths(self, env, engine, batch_size):
+        """The acceptance property: session-driven execution produces the
+        same AQP cardinalities as the legacy entry points, at any batch
+        size, for both engines."""
+        schema, _, workload, constraints = env
+        session = Session(schema, config=RegenConfig(engine=engine))
+        handle = session.summarize(constraints)
+        database = session.regenerate(handle, batch_size=batch_size)
+        plans = database.execute(workload)
+
+        if engine == "hydra":
+            legacy_db = materialize_database(
+                Hydra(schema).build_summary(constraints).summary, schema)
+        else:
+            legacy_db = DataSynth(schema, DataSynthConfig()).generate(
+                constraints).database
+        legacy_plans = Executor(legacy_db, mode="materialize").execute_workload(workload)
+        assert _cardinalities(plans) == _cardinalities(legacy_plans)
+
+    def test_extract_matches_legacy(self, env):
+        schema, database, workload, constraints = env
+        extracted = Session(schema).extract(database, workload)
+        assert {str(cc) for cc in extracted} == {str(cc) for cc in constraints}
+
+    def test_verify_matches_evaluate_on_database(self, env):
+        schema, _, _, constraints = env
+        session = Session(schema)
+        handle = session.summarize(constraints)
+        database = session.regenerate(handle)
+        report = session.verify(database)
+        legacy = evaluate_on_database(
+            constraints, materialize_database(handle.summary, schema))
+        assert [r.actual for r in report.results] == [r.actual for r in legacy.results]
+        # analytic (scale-free) verification agrees on the summary handle
+        analytic = session.verify(handle)
+        assert [r.actual for r in analytic.results] == [r.actual for r in legacy.results]
+
+    def test_verify_without_constraints_requires_provenance(self, env):
+        schema, _, _, constraints = env
+        session = Session(schema)
+        handle = session.summarize(constraints)
+        bare = session.regenerate(handle.summary)  # raw summary: no provenance
+        with pytest.raises(ServiceError):
+            session.verify(bare)
+
+
+# ---------------------------------------------------------------------- #
+# scaled regeneration
+# ---------------------------------------------------------------------- #
+class TestScaledRegeneration:
+    def test_verify_scales_the_default_constraints(self, env):
+        """A scaled regeneration verifies against the correspondingly scaled
+        cardinalities (Section 7.4 arithmetic), not the originals."""
+        schema, _, _, constraints = env
+        session = Session(schema)
+        handle = session.summarize(constraints)
+        base_error = session.verify(session.regenerate(handle)).max_error()
+        scaled_error = session.verify(
+            session.regenerate(handle, scale=3.0)).max_error()
+        assert scaled_error == pytest.approx(base_error, abs=1e-9)
+        # explicit constraints are evaluated as given: 3x the rows -> 2.0 error
+        explicit = session.verify(session.regenerate(handle, scale=3.0),
+                                  constraints)
+        assert explicit.max_error() == pytest.approx(2.0)
+
+    def test_scale_multiplies_volume_and_keeps_integrity(self, env):
+        schema, _, _, constraints = env
+        session = Session(schema)
+        handle = session.summarize(constraints)
+        base = session.regenerate(handle).row_counts()
+        scaled = session.regenerate(handle, scale=3.0)
+        counts = scaled.row_counts()
+        for relation, rows in base.items():
+            assert counts[relation] == 3 * rows
+        # foreign keys stay within the scaled parents
+        r_table = scaled.materialize("R")
+        assert r_table.column("S_fk").max() <= counts["S"]
+        assert r_table.column("T_fk").max() <= counts["T"]
+        assert r_table.column("S_fk").min() >= 1
+
+    def test_downscale(self, env):
+        schema, _, _, constraints = env
+        session = Session(schema)
+        handle = session.summarize(constraints)
+        half = session.regenerate(handle, scale=0.5)
+        base_total = handle.total_rows()
+        # every summary row keeps >= 1 tuple, so the volume roughly halves
+        assert 0 < half.database.total_rows() <= base_total
+        r_table = half.materialize("R")
+        assert r_table.column("S_fk").max() <= half.row_counts()["S"]
+
+    def test_invalid_factor(self, env):
+        schema, _, _, constraints = env
+        session = Session(schema)
+        handle = session.summarize(constraints)
+        with pytest.raises(Exception):
+            session.regenerate(handle, scale=0.0)
+
+
+# ---------------------------------------------------------------------- #
+# RegenConfig fingerprint integration with the store
+# ---------------------------------------------------------------------- #
+class TestFingerprintIntegration:
+    def test_old_and_new_spellings_hit_the_same_fingerprint(self, env):
+        schema, _, _, constraints = env
+        legacy = Hydra(schema, HydraConfig(milp_variable_limit=2_000))
+        session = Session(schema, config=RegenConfig(milp_variable_limit=2_000))
+        assert legacy.request_fingerprint(constraints) == session.fingerprint(constraints)
+
+    def test_old_kwargs_spelling_hits_the_same_fingerprint(self, env):
+        schema, _, _, constraints = env
+        with pytest.warns(DeprecationWarning):
+            legacy = Hydra(schema, milp_variable_limit=2_000)
+        session = Session(schema, config=RegenConfig(milp_variable_limit=2_000))
+        assert legacy.request_fingerprint(constraints) == session.fingerprint(constraints)
+
+    def test_result_affecting_knobs_never_share_store_entries(self, env, tmp_path):
+        schema, _, _, constraints = env
+        store = SummaryStore(tmp_path / "store")
+        exact = Session(schema, config=RegenConfig(), store=store)
+        rounded = Session(schema, config=RegenConfig(prefer_integer=False),
+                          store=store)
+        first = exact.summarize(constraints)
+        second = rounded.summarize(constraints)
+        assert first.fingerprint != second.fingerprint
+        assert not second.from_store
+        assert len(store.summary_fingerprints()) == 2
+
+    def test_performance_knobs_share_store_entries(self, env, tmp_path):
+        schema, _, _, constraints = env
+        store = SummaryStore(tmp_path / "store")
+        one = Session(schema, config=RegenConfig(workers=1, cache_size=4,
+                                                 batch_size=128), store=store)
+        two = Session(schema, config=RegenConfig(workers=4, cache_size=64),
+                      store=store)
+        first = one.summarize(constraints)
+        second = two.summarize(constraints)
+        assert first.fingerprint == second.fingerprint
+        assert second.from_store  # warm: served without running the pipeline
+        assert _relations_json(first.summary) == _relations_json(second.summary)
+        assert len(store.summary_fingerprints()) == 1
+
+    def test_engines_are_namespaced(self, env):
+        schema, _, _, constraints = env
+        session = Session(schema)
+        assert (session.fingerprint(constraints, engine="hydra")
+                != session.fingerprint(constraints, engine="datasynth"))
+
+    def test_load_rehydrates_stored_summary(self, env, tmp_path):
+        schema, _, _, constraints = env
+        session = Session(schema, store=tmp_path / "store")
+        handle = session.summarize(constraints)
+        loaded = session.load(handle.fingerprint)
+        assert loaded.from_store
+        assert _relations_json(loaded.summary) == _relations_json(handle.summary)
+        with pytest.raises(ServiceError):
+            session.load("0" * 64)
+
+
+# ---------------------------------------------------------------------- #
+# backend registry
+# ---------------------------------------------------------------------- #
+class _ConstantBackend(PipelineBackend):
+    """Test backend: returns a fixed one-relation summary, optionally
+    blocking until released (for backpressure tests)."""
+
+    name = "constant-test"
+
+    def __init__(self, schema, config, store=None,
+                 gate: "threading.Event | None" = None) -> None:
+        self.schema = schema
+        self.config = config
+        self.gate = gate
+        self.builds = 0
+        # deliberately no .pipeline/.solver: the minimal backend contract is
+        # fingerprint() + build(); service.stats() must not crash on it
+
+    def fingerprint(self, constraints, relations=None):
+        return workload_fingerprint(self.schema, constraints,
+                                    relations=relations,
+                                    profile=[self.name])
+
+    def build(self, constraints, relations=None):
+        if self.gate is not None:
+            self.gate.wait(timeout=30)
+        self.builds += 1
+        summary = DatabaseSummary()
+        summary.relations["S"] = RelationSummary(
+            relation="S", primary_key="S_pk", columns=("A", "B"),
+            rows=[((1, 2), len(constraints))],
+        )
+        return BackendBuild(summary=summary)
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "hydra" in names and "datasynth" in names
+
+    def test_unknown_engine(self, env):
+        schema, _, _, constraints = env
+        with pytest.raises(UnknownBackendError):
+            Session(schema).summarize(constraints, engine="no-such-engine")
+        with pytest.raises(UnknownBackendError):
+            RegenerationService(schema, engine="no-such-engine")
+
+    def test_custom_backend_via_session_and_service(self, env):
+        schema, _, _, constraints = env
+        register_backend("constant-test", _ConstantBackend)
+        config = RegenConfig(engine="constant-test")
+        handle = Session(schema, config=config).summarize(constraints)
+        assert handle.engine == "constant-test"
+        assert handle.summary.relation("S").total_rows() == len(constraints)
+        with RegenerationService(schema, config=config) as service:
+            summary = service.summarize(constraints, timeout=30)
+            assert summary.relation("S").total_rows() == len(constraints)
+            # observability must survive a backend without a solver pipeline
+            stats = service.stats()
+            assert stats["pipeline_runs"] == 1
+            assert stats["solver_components_solved"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# max_pending backpressure
+# ---------------------------------------------------------------------- #
+class TestBackpressure:
+    def test_cold_submissions_rejected_above_max_pending(self, env):
+        schema, _, _, constraints = env
+        gate = threading.Event()
+        register_backend(
+            "blocking-test",
+            lambda schema, config, store=None: _ConstantBackend(
+                schema, config, store, gate=gate),
+        )
+        other = constraints.scaled(2.0)  # different fingerprint
+        config = RegenConfig(engine="blocking-test")
+        with RegenerationService(schema, config=config, max_workers=1,
+                                 max_pending=1) as service:
+            ticket = service.submit(constraints)      # occupies the only slot
+            # identical request: in-flight dedup is always admitted
+            again = service.submit(constraints)
+            assert again.fingerprint == ticket.fingerprint
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(other)                  # cold: over the limit
+            stats = service.stats()
+            assert stats["rejected_submissions"] == 1
+            assert stats["inflight_dedup"] == 1
+            gate.set()
+            ticket.result(timeout=30)
+            # capacity freed: the previously rejected request is admitted
+            service.submit(other).result(timeout=30)
+        assert service.stats()["rejected_submissions"] == 1
+
+    def test_session_serve_threads_max_pending(self, env):
+        schema, _, _, constraints = env
+        gate = threading.Event()
+        gate.set()
+        register_backend(
+            "blocking-test",
+            lambda schema, config, store=None: _ConstantBackend(
+                schema, config, store, gate=gate),
+        )
+        session = Session(schema, config=RegenConfig(engine="blocking-test",
+                                                     max_pending=0))
+        with session.serve() as service:
+            assert service.max_pending == 0
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(constraints)
+        with session.serve(max_pending=5) as service:
+            assert service.max_pending == 5
+            service.submit(constraints).result(timeout=30)
+
+    def test_warm_requests_admitted_at_zero_capacity(self, env, tmp_path):
+        schema, _, _, constraints = env
+        store = tmp_path / "store"
+        Session(schema, store=store).summarize(constraints)  # warm the store
+        with RegenerationService(schema, store=store, max_pending=0) as service:
+            ticket = service.submit(constraints)
+            assert ticket.warm
+            assert service.stats()["rejected_submissions"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# deprecation shims
+# ---------------------------------------------------------------------- #
+class TestDeprecationShims:
+    def test_hydra_kwargs_warn_and_match_config_path(self, env):
+        schema, _, _, constraints = env
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            shimmed = Hydra(schema, workers=1, cache_size=8)
+        assert shimmed.config == HydraConfig(workers=1, cache_size=8)
+        reference = Hydra(schema, HydraConfig(workers=1, cache_size=8))
+        assert (_relations_json(shimmed.build_summary(constraints).summary)
+                == _relations_json(reference.build_summary(constraints).summary))
+
+    def test_hydra_rejects_config_plus_kwargs(self, env):
+        schema = env[0]
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                Hydra(schema, HydraConfig(), workers=2)
+
+    def test_datasynth_kwargs_warn_and_match_config_path(self, env):
+        schema, _, _, constraints = env
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            shimmed = DataSynth(schema, seed=13)
+        assert shimmed.config == DataSynthConfig(seed=13)
+
+    def test_service_cli_warns_and_delegates(self, tmp_path, capsys):
+        from repro.cli import main as unified_main
+        from repro.service import cli as legacy_cli
+
+        store = str(tmp_path / "store")
+        SummaryStore(store)  # create an empty store
+        with pytest.warns(DeprecationWarning, match="python -m repro"):
+            assert legacy_cli.main(["stats", "--store", store]) == 0
+        legacy_out = capsys.readouterr().out
+        assert unified_main(["stats", "--store", store]) == 0
+        assert capsys.readouterr().out == legacy_out
+
+
+# ---------------------------------------------------------------------- #
+# unified CLI round trip against a store warmed by the legacy CLI
+# ---------------------------------------------------------------------- #
+class TestUnifiedCLIRoundTrip:
+    @staticmethod
+    def run_cli(module: str, *argv: str):
+        import os
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return subprocess.run(
+            [_sys.executable, "-m", module, *argv],
+            capture_output=True, text=True, env=env, cwd=repo, timeout=300,
+        )
+
+    def test_unified_serve_round_trips_legacy_warm(self, tmp_path):
+        store = str(tmp_path / "store")
+        flags = ["--store", store, "--scale", "0.0002", "--queries", "5"]
+
+        warm = self.run_cli("repro.service", "warm", *flags)
+        assert warm.returncode == 0, warm.stderr
+        fingerprint = warm.stdout.splitlines()[0].split("=", 1)[1]
+
+        serve = self.run_cli("repro", "serve", *flags, "--relation",
+                             "store_sales", "--max-batches", "2",
+                             "--require-warm")
+        assert serve.returncode == 0, serve.stderr
+        assert f"fingerprint={fingerprint}" in serve.stdout
+        assert "warm=True" in serve.stdout
+        assert "pipeline_runs=0" in serve.stdout
+        assert "solver_components_solved=0" in serve.stdout
+
+        stats = self.run_cli("repro", "stats", "--store", store, "--entries")
+        assert stats.returncode == 0 and "summaries=1" in stats.stdout
+
+    def test_unified_summarize_then_regenerate(self, tmp_path):
+        store = str(tmp_path / "store")
+        flags = ["--store", store, "--scale", "0.0002", "--queries", "5"]
+
+        summarize = self.run_cli("repro", "summarize", *flags)
+        assert summarize.returncode == 0, summarize.stderr
+        assert "pipeline_runs=1" in summarize.stdout
+
+        regen = self.run_cli("repro", "regenerate", *flags,
+                             "--relation", "store_sales", "--max-batches", "1")
+        assert regen.returncode == 0, regen.stderr
+        assert "warm=True" in regen.stdout  # served from the warmed store
+        assert "streamed relation=store_sales" in regen.stdout

@@ -37,6 +37,7 @@ def test_docs_reference_each_other():
     """README links the docs pages and each docs page links back."""
     readme = (REPO_ROOT / "README.md").read_text()
     assert "docs/ARCHITECTURE.md" in readme and "docs/SERVING.md" in readme
-    for page in ("ARCHITECTURE.md", "SERVING.md"):
+    assert "docs/API.md" in readme
+    for page in ("ARCHITECTURE.md", "SERVING.md", "API.md"):
         text = (REPO_ROOT / "docs" / page).read_text()
-        assert "README" in text
+        assert "README" in text or "repro.api" in text
