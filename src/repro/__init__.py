@@ -58,7 +58,9 @@ from repro.predicates import Conjunct, DNFPredicate, Interval, IntervalSet, col
 from repro.schema import Attribute, ForeignKey, Relation, Schema
 from repro.service import (
     RegenerationService,
+    ServiceStats,
     SummaryStore,
+    TenantStats,
     Ticket,
     workload_fingerprint,
 )
@@ -126,6 +128,8 @@ __all__ = [
     "dynamic_database",
     # serving
     "RegenerationService",
+    "ServiceStats",
+    "TenantStats",
     "Ticket",
     "SummaryStore",
     "workload_fingerprint",

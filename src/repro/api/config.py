@@ -64,7 +64,11 @@ class RegenConfig:
 
     Performance-only knobs (never fingerprinted): ``workers``,
     ``cache_size``, ``use_processes``, ``batch_size``, ``executor_mode``,
-    ``max_workers``, ``max_pending``.
+    ``max_workers``, ``max_pending``, ``max_pending_per_tenant``.
+
+    Store lifecycle knobs (also never fingerprinted — they bound the store,
+    not the artefacts): ``max_store_bytes``, ``max_entries``,
+    ``ttl_seconds``, ``gc_interval``.
     """
 
     engine: str = "hydra"
@@ -87,6 +91,12 @@ class RegenConfig:
     # -- serving knobs ------------------------------------------------- #
     max_workers: int = 2
     max_pending: Optional[int] = None
+    max_pending_per_tenant: Optional[int] = None
+    # -- store lifecycle knobs ----------------------------------------- #
+    max_store_bytes: Optional[int] = None
+    max_entries: Optional[int] = None
+    ttl_seconds: Optional[float] = None
+    gc_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in (STRATEGY_REGION, STRATEGY_GRID):
@@ -106,8 +116,13 @@ class RegenConfig:
                      "max_region_variables"):
             if getattr(self, knob) < 0:
                 raise ConfigError(f"{knob} must be non-negative")
-        if self.max_pending is not None and self.max_pending < 0:
-            raise ConfigError("max_pending must be non-negative (or None)")
+        for knob in ("max_pending", "max_pending_per_tenant",
+                     "max_store_bytes", "max_entries", "ttl_seconds"):
+            value = getattr(self, knob)
+            if value is not None and value < 0:
+                raise ConfigError(f"{knob} must be non-negative (or None)")
+        if self.gc_interval is not None and self.gc_interval <= 0:
+            raise ConfigError("gc_interval must be positive (or None)")
 
     # ------------------------------------------------------------------ #
     # derivation of the per-engine configs

@@ -154,7 +154,14 @@ class Session:
         if store is not None and not hasattr(store, "get_summary"):
             from repro.service.store import SummaryStore
 
-            store = SummaryStore(store)
+            # A path-opened store inherits the session's lifecycle caps so
+            # `Session` and `Session.serve()` GC with the same policy.
+            store = SummaryStore(
+                store,
+                max_store_bytes=self.config.max_store_bytes,
+                max_entries=self.config.max_entries,
+                ttl_seconds=self.config.ttl_seconds,
+            )
         self.store = store
         self._backends: Dict[str, PipelineBackend] = {}
 
@@ -270,12 +277,17 @@ class Session:
     # serving and identity
     # ------------------------------------------------------------------ #
     def serve(self, max_workers: Optional[int] = None,
-              max_pending: Optional[int] = None) -> "RegenerationService":
+              max_pending: Optional[int] = None,
+              max_pending_per_tenant: Optional[int] = None,
+              gc_interval: Optional[float] = None) -> "RegenerationService":
         """Lift this session into a concurrent serving front-end.
 
         The service shares the session's schema, store and config — including
-        the engine selection and the ``max_pending`` backpressure knob — so
-        submissions and session-built summaries hit the same fingerprints.
+        the engine selection, the admission knobs (``max_pending``,
+        ``max_pending_per_tenant``) and the store lifecycle knobs
+        (``max_store_bytes``/``max_entries``/``ttl_seconds``/``gc_interval``)
+        — so submissions and session-built summaries hit the same
+        fingerprints and the same GC policy.
         """
         from repro.service.service import RegenerationService
 
@@ -287,6 +299,9 @@ class Session:
             max_workers=max_workers or config.max_workers,
             engine=config.engine,
             max_pending=config.max_pending if max_pending is None else max_pending,
+            max_pending_per_tenant=config.max_pending_per_tenant
+            if max_pending_per_tenant is None else max_pending_per_tenant,
+            gc_interval=config.gc_interval if gc_interval is None else gc_interval,
         )
 
     def fingerprint(self, constraints: ConstraintSet,

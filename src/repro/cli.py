@@ -1,6 +1,6 @@
 """The unified command-line front-end: ``python -m repro <command>``.
 
-Five commands, all built on the :class:`repro.api.Session` facade and the
+Six commands, all built on the :class:`repro.api.Session` facade and the
 deterministic TPC-DS-like benchmark environment (``--scale``, ``--queries``,
 ``--workload`` and the seeds fully determine the workload, so two processes
 passing the same flags compute the same store fingerprint):
@@ -15,7 +15,10 @@ passing the same flags compute the same store fingerprint):
   (``--require-warm`` exits :data:`EXIT_NOT_WARM` if the request is not
   already stored — the CI smoke job's cross-process zero-solve assertion);
 * ``stats``      — print store counters (``--entries`` lists the stored
-  summaries, replacing ``repro.service inspect``).
+  summaries, replacing ``repro.service inspect``; ``--tenants`` adds the
+  per-tenant admission telemetry note);
+* ``gc``         — one store GC pass: TTL expiration plus LRU eviction
+  down to ``--max-store-bytes`` / ``--max-entries`` caps.
 
 ``python -m repro.service`` remains as a deprecated alias that delegates
 here.
@@ -61,11 +64,19 @@ def _session(args: argparse.Namespace, schema: Schema) -> Session:
 def _print_stats(service: "RegenerationService") -> None:
     stats = service.stats()
     keys = ("requests", "hits", "misses", "inflight_dedup",
-            "rejected_submissions", "pipeline_runs", "batches_streamed",
+            "rejected_submissions", "pipeline_runs", "pipeline_failures",
+            "queue_depth", "batches_streamed",
             "solver_components_solved", "solver_cache_hits",
             "solver_cache_misses", "summaries", "components", "store_bytes",
-            "corrupt_entries")
+            "corrupt_entries", "evictions", "expirations", "gc_runs")
     print(" ".join(f"{key}={stats.get(key, 0)}" for key in keys))
+
+
+def _print_tenants(service: "RegenerationService") -> None:
+    for row in service.service_stats().tenants:
+        print(f"  tenant={row.tenant} admitted={row.admitted}"
+              f" rejected={row.rejected} completed={row.completed}"
+              f" failed={row.failed} queued={row.queued} running={row.running}")
 
 
 # ---------------------------------------------------------------------- #
@@ -75,12 +86,13 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     schema, constraints, _, _ = _benchmark_environment(args)
     session = _session(args, schema)
     with session.serve() as service:
-        ticket = service.submit(constraints)
+        ticket = service.submit(constraints, tenant=args.tenant)
         summary = ticket.result()
         print(f"fingerprint={ticket.fingerprint}")
         print(f"warm={ticket.warm} relations={len(summary.relations)}"
               f" total_rows={summary.total_rows()} summary_bytes={summary.nbytes()}")
         _print_stats(service)
+        _print_tenants(service)
     return 0
 
 
@@ -146,7 +158,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"fingerprint={fingerprint} is not in the store; refusing to"
                   " run the pipeline", file=sys.stderr)
             return EXIT_NOT_WARM
-        request: "ConstraintSet | str" = fingerprint if warm else constraints
+        if not warm:
+            # Tag the cold build with the caller's tenant, then stream the
+            # (now stored) fingerprint like any warm consumer.
+            service.submit(constraints, tenant=args.tenant).result()
+        request: "ConstraintSet | str" = fingerprint
         rows = 0
         batches = 0
         for batch in service.stream(request, args.relation,
@@ -159,6 +175,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"served relation={args.relation} batches={batches} rows={rows}"
               f" warm={warm}")
         _print_stats(service)
+        _print_tenants(service)
         if args.require_warm and service.stats()["pipeline_runs"] > 0:
             print("pipeline ran despite --require-warm", file=sys.stderr)
             return EXIT_NOT_WARM
@@ -179,6 +196,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(f"  {fingerprint} {detail}")
         return 0
     print(" ".join(f"{key}={value}" for key, value in sorted(store.counters().items())))
+    if args.tenants:
+        # Per-tenant admission counters live in each serving process (see
+        # summarize/serve output); an offline store has none to report.
+        print("tenants=0 (per-tenant admission telemetry is per serving"
+              " process; summarize/serve print it via --tenant)")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    """One store GC pass: TTL expiration + LRU eviction down to the caps
+    given on the command line (absent flags mean "no limit" for this pass)."""
+    from repro.service.store import SummaryStore
+
+    store = SummaryStore(args.store)
+    report = store.compact(max_store_bytes=args.max_store_bytes,
+                           max_entries=args.max_entries,
+                           ttl_seconds=args.ttl_seconds)
+    keys = ("expired", "evicted", "reclaimed_bytes", "summaries",
+            "components", "store_bytes")
+    print(" ".join(f"{key}={report.get(key, 0)}" for key in keys))
     return 0
 
 
@@ -206,6 +243,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LP solver workers for cold builds")
         p.add_argument("--engine", choices=available_backends(),
                        default="hydra", help="pipeline backend")
+        p.add_argument("--tenant", default="default",
+                       help="tenant tag for fair cold-build admission")
 
     summarize = sub.add_parser(
         "summarize", help="build the benchmark workload's summary into the store")
@@ -254,7 +293,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--store", required=True, help="store directory")
     stats.add_argument("--entries", action="store_true",
                        help="also list the stored summaries")
+    stats.add_argument("--tenants", action="store_true",
+                       help="also report per-tenant admission telemetry")
     stats.set_defaults(func=_cmd_stats)
+
+    gc = sub.add_parser(
+        "gc", help="compact the store: TTL expiration + LRU eviction to caps")
+    gc.add_argument("--store", required=True, help="store directory")
+    gc.add_argument("--max-store-bytes", type=int, default=None,
+                    help="evict LRU-first until the store fits this many bytes")
+    gc.add_argument("--max-entries", type=int, default=None,
+                    help="evict LRU-first down to this many summary entries")
+    gc.add_argument("--ttl-seconds", type=float, default=None,
+                    help="drop entries last used more than this many seconds ago")
+    gc.set_defaults(func=_cmd_gc)
     return parser
 
 

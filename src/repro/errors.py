@@ -76,8 +76,16 @@ class ServiceError(ReproError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """The service rejected a cold submission because its ``max_pending``
-    backpressure limit was reached; retry later or raise the limit."""
+    """The service rejected a cold submission because an admission limit was
+    reached — the global ``max_pending`` backpressure cap or the submitting
+    tenant's ``max_pending_per_tenant`` fair-admission cap; retry later or
+    raise the limit."""
+
+
+class ServiceClosedError(ServiceError):
+    """A cold submission arrived after the service's worker pool was shut
+    down (``close()``), or the pool went away while the build was queued.
+    The flight is failed and unregistered — waiters never hang on it."""
 
 
 class UnknownBackendError(ReproError):

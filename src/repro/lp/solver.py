@@ -289,6 +289,11 @@ class LRUSolutionCache(SolutionCache):
         with self._lock:
             return list(self._entries)
 
+    def pop(self, key: str) -> Optional[LPSolution]:
+        """Drop one entry (the summary store's GC evicts through this)."""
+        with self._lock:
+            return self._entries.pop(key, None)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -14,8 +14,10 @@ one-shot pipeline into a reusable serving system:
 * :mod:`repro.service.service` — :class:`RegenerationService`, a concurrent
   front-end (``submit``/``summarize``/``stream``/``stats``) that deduplicates
   identical in-flight requests, serves warm requests straight from the store
-  without touching the LP solver, rejects cold overload via ``max_pending``
-  and routes cold builds through the :mod:`repro.api.backends` registry;
+  without touching the LP solver, admits cold builds through a weighted-fair
+  per-tenant queue (global ``max_pending`` plus ``max_pending_per_tenant``
+  caps), optionally GCs the store from a background thread and routes cold
+  builds through the :mod:`repro.api.backends` registry;
 * :mod:`repro.service.cli` — deprecated alias of the unified
   ``python -m repro`` CLI (see :mod:`repro.cli`).
 """
@@ -25,11 +27,18 @@ from repro.service.fingerprint import (
     schema_fingerprint,
     workload_fingerprint,
 )
-from repro.service.service import RegenerationService, Ticket
+from repro.service.service import (
+    RegenerationService,
+    ServiceStats,
+    TenantStats,
+    Ticket,
+)
 from repro.service.store import StoreSolutionCache, SummaryStore
 
 __all__ = [
     "RegenerationService",
+    "ServiceStats",
+    "TenantStats",
     "Ticket",
     "SummaryStore",
     "StoreSolutionCache",

@@ -5,24 +5,47 @@ by name from the :mod:`repro.api.backends` registry — Hydra by default) and
 a :class:`~repro.service.store.SummaryStore` and turns one-shot summary
 builds into a request/serve loop:
 
-* ``submit(workload)`` returns a :class:`Ticket` immediately; identical
-  requests already in flight are *single-flighted* — they attach to the
-  running build instead of triggering a second pipeline run;
+* ``submit(workload, tenant=...)`` returns a :class:`Ticket` immediately;
+  identical requests already in flight are *single-flighted* — they attach
+  to the running build instead of triggering a second pipeline run;
 * warm requests (fingerprint already in the store) never touch the LP
   solver: the summary is read from the store's memory/disk layers;
+* cold builds go through a **weighted-fair admission queue**: FIFO within a
+  tenant, weighted round-robin across tenants for dispatch, per-tenant
+  ``max_pending_per_tenant`` caps so one tenant's cold burst can never
+  starve the others (warm requests and in-flight dedup are always
+  admitted);
 * ``stream(...)`` hands out vectorised tuple batches for any relation of a
-  regenerated database; many consumers can stream concurrently, each with an
-  independent cursor, optionally over disjoint row shards;
-* ``stats()`` exposes the serving counters (hits, misses, inflight dedups,
-  pipeline runs, store bytes) the fleet scenario monitors.
+  regenerated database; many consumers can stream concurrently, each with
+  an independent cursor, optionally over disjoint row shards.  The backing
+  store entry is pinned from the moment the cursor is handed out, so GC
+  never evicts it under a live stream;
+* an optional background GC thread (``gc_interval``) periodically
+  :meth:`~repro.service.store.SummaryStore.compact`-s the store;
+* ``stats()`` / ``service_stats()`` expose the serving counters (hits,
+  misses, inflight dedups, pipeline runs and failures, queue depth,
+  per-tenant admits/rejects, store evictions/expirations) the fleet
+  scenario monitors.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.backends import create_backend
 from repro.api.config import RegenConfig
@@ -32,7 +55,11 @@ from repro.engine.database import Database
 from repro.engine.executor import Executor
 from repro.engine.plan import AnnotatedQueryPlan
 from repro.engine.table import Table
-from repro.errors import ServiceError, ServiceOverloadedError
+from repro.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.hydra.pipeline import HydraConfig
 from repro.metrics.similarity import SimilarityReport, evaluate_with_executor
 from repro.schema.schema import Schema
@@ -41,20 +68,82 @@ from repro.summary.relation_summary import DatabaseSummary
 from repro.tuplegen.generator import DEFAULT_BATCH_SIZE, TupleGenerator
 from repro.workload.query import Workload
 
+#: Tenant tag assigned to submissions that do not name one.
+DEFAULT_TENANT = "default"
+
 
 class _Flight:
     """One in-progress (or finished) summary build."""
 
-    __slots__ = ("event", "summary", "error", "warm")
+    __slots__ = ("event", "summary", "error", "warm", "tenant")
 
     def __init__(self, summary: Optional[DatabaseSummary] = None,
-                 warm: bool = False) -> None:
+                 warm: bool = False, tenant: str = DEFAULT_TENANT) -> None:
         self.event = threading.Event()
         self.summary = summary
         self.error: Optional[BaseException] = None
         self.warm = warm
+        self.tenant = tenant
         if summary is not None:
             self.event.set()
+
+
+class _QueuedBuild:
+    """One admitted cold build waiting for (or holding) a worker slot."""
+
+    __slots__ = ("fingerprint", "workload", "relations", "flight")
+
+    def __init__(self, fingerprint: str, workload: ConstraintSet,
+                 relations: Optional[Sequence[str]], flight: _Flight) -> None:
+        self.fingerprint = fingerprint
+        self.workload = workload
+        self.relations = relations
+        self.flight = flight
+
+
+class _PinnedCursor:
+    """A batch cursor holding a store pin for its whole lifetime.
+
+    The pin is taken *eagerly* at construction — before the caller ever
+    iterates — so there is no window in which GC could evict the entry
+    backing a handed-out stream.  It is released exactly once: on
+    exhaustion, on error, on :meth:`close`, or when the cursor is garbage
+    collected (an abandoned, never-iterated cursor cannot leak its pin).
+    """
+
+    def __init__(self, store: SummaryStore, fingerprint: str,
+                 batches: Iterator[Table],
+                 on_batch: Optional[callable] = None) -> None:
+        self._store = store
+        self._fingerprint = fingerprint
+        self._batches = batches
+        self._on_batch = on_batch
+        self._pinned = True
+        store.pin(fingerprint)
+
+    def _release(self) -> None:
+        if self._pinned:
+            self._pinned = False
+            self._store.unpin(self._fingerprint)
+
+    def __iter__(self) -> "_PinnedCursor":
+        return self
+
+    def __next__(self) -> Table:
+        try:
+            batch = next(self._batches)
+        except BaseException:  # StopIteration included: cursor is done
+            self._release()
+            raise
+        if self._on_batch is not None:
+            self._on_batch()
+        return batch
+
+    def close(self) -> None:
+        self._release()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        self._release()
 
 
 class Ticket:
@@ -68,6 +157,11 @@ class Ticket:
     def warm(self) -> bool:
         """``True`` when the request was served from the store."""
         return self._flight.warm
+
+    @property
+    def tenant(self) -> str:
+        """The tenant tag the request was admitted under."""
+        return self._flight.tenant
 
     def done(self) -> bool:
         """``True`` once the summary is available (or the build failed)."""
@@ -85,6 +179,39 @@ class Ticket:
         return self._flight.summary
 
 
+@dataclass(frozen=True)
+class TenantStats:
+    """Per-tenant admission/progress counters (one row of the fair queue)."""
+
+    tenant: str
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    queued: int = 0
+    running: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Structured serving telemetry: flat counters + per-tenant rows."""
+
+    #: The flat counter dict (everything :meth:`RegenerationService.stats`
+    #: returns, including the store's lifecycle counters).
+    counters: Dict[str, int]
+    #: One :class:`TenantStats` per tenant ever seen, sorted by name.
+    tenants: Tuple[TenantStats, ...]
+    #: Cold builds admitted but not yet holding a worker slot.
+    queue_depth: int
+
+    def tenant(self, name: str) -> TenantStats:
+        """The row for one tenant (zeros if it was never seen)."""
+        for row in self.tenants:
+            if row.tenant == name:
+                return row
+        return TenantStats(tenant=name)
+
+
 class RegenerationService:
     """Concurrent serving front-end over a summary store.
 
@@ -94,7 +221,9 @@ class RegenerationService:
         The (anonymised) client schema requests are validated against.
     store:
         A :class:`SummaryStore`, a directory path to open one at, or ``None``
-        for an ephemeral memory-only store.
+        for an ephemeral memory-only store.  A path-opened store inherits
+        the config's lifecycle caps (``max_store_bytes`` / ``max_entries`` /
+        ``ttl_seconds``).
     config:
         A :class:`~repro.api.RegenConfig` (the canonical spelling), or a
         legacy :class:`HydraConfig` / :class:`DataSynthConfig`, which is
@@ -107,11 +236,24 @@ class RegenerationService:
         :func:`repro.api.available_backends`); defaults to the config's
         engine selection.
     max_pending:
-        Backpressure: maximum number of cold builds queued or running at
-        once.  Further cold submissions raise
+        Global backpressure: maximum number of cold builds queued or running
+        at once.  Further cold submissions raise
         :class:`~repro.errors.ServiceOverloadedError` (warm requests and
         in-flight dedup are always admitted — they add no pipeline load).
-        ``None`` disables the limit.
+        ``None`` falls back to the config, whose default disables the limit.
+    max_pending_per_tenant:
+        Fair admission: per-tenant cap on cold builds queued or running.  A
+        tenant at its cap gets :class:`ServiceOverloadedError` while other
+        tenants keep being admitted.  ``None`` falls back to the config.
+    tenant_weights:
+        Optional relative dispatch weights (default 1 per tenant): a tenant
+        with weight 2 gets twice the cold-build slots of a weight-1 tenant
+        under contention.  Dispatch is FIFO within a tenant.
+    gc_interval:
+        Period (seconds) of the background store-GC thread, which runs
+        :meth:`SummaryStore.compact` with the store's configured caps.
+        ``None`` falls back to the config, whose default disables the
+        thread; :meth:`gc` always works on demand.
     """
 
     def __init__(self, schema: Schema,
@@ -119,13 +261,19 @@ class RegenerationService:
                  config: Union[RegenConfig, HydraConfig, DataSynthConfig, None] = None,
                  max_workers: int = 2,
                  engine: Optional[str] = None,
-                 max_pending: Optional[int] = None) -> None:
+                 max_pending: Optional[int] = None,
+                 max_pending_per_tenant: Optional[int] = None,
+                 tenant_weights: Optional[Mapping[str, int]] = None,
+                 gc_interval: Optional[float] = None) -> None:
         if max_workers < 1:
             raise ServiceError("RegenerationService needs at least one worker")
         if max_pending is not None and max_pending < 0:
             raise ServiceError("max_pending must be non-negative (or None)")
+        if max_pending_per_tenant is not None and max_pending_per_tenant < 0:
+            raise ServiceError(
+                "max_pending_per_tenant must be non-negative (or None)"
+            )
         self.schema = schema
-        self.store = store if isinstance(store, SummaryStore) else SummaryStore(store)
         if config is None:
             self.config = RegenConfig()
         elif isinstance(config, RegenConfig):
@@ -139,25 +287,59 @@ class RegenerationService:
                 f"unsupported config type {type(config).__name__};"
                 " pass a RegenConfig, HydraConfig or DataSynthConfig"
             )
+        if isinstance(store, SummaryStore):
+            self.store = store
+        else:
+            self.store = SummaryStore(
+                store,
+                max_store_bytes=self.config.max_store_bytes,
+                max_entries=self.config.max_entries,
+                ttl_seconds=self.config.ttl_seconds,
+            )
         self.engine = engine or self.config.engine
         self.backend = create_backend(self.engine, schema, self.config, self.store)
         #: Back-compat alias: the wrapped engine object (a ``Hydra`` for the
         #: default backend — tests and tooling patch ``hydra.build_summary``).
         self.hydra = self.backend.pipeline
-        self.max_pending = max_pending
+        self.max_pending = max_pending if max_pending is not None \
+            else self.config.max_pending
+        self.max_pending_per_tenant = max_pending_per_tenant \
+            if max_pending_per_tenant is not None \
+            else self.config.max_pending_per_tenant
+        self.tenant_weights: Dict[str, int] = dict(tenant_weights or {})
+        self.gc_interval = gc_interval if gc_interval is not None \
+            else self.config.gc_interval
+        self._max_workers = max_workers
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="regen"
         )
         self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._closed = False
         self._flights: Dict[str, _Flight] = {}
         self._generators: Dict[Tuple[str, str], TupleGenerator] = {}
+        # Fair admission queue state: FIFO per tenant, dispatched weighted
+        # round-robin whenever a worker slot frees up.
+        self._queues: Dict[str, Deque[_QueuedBuild]] = {}
+        self._running_total = 0
+        self._running_by_tenant: Dict[str, int] = {}
+        self._pending_by_tenant: Dict[str, int] = {}
+        # Weight-normalised service clocks of the current busy period: a
+        # tenant is charged 1/weight per dispatched build, an (re)activating
+        # tenant starts at the least-served active tenant's clock (no
+        # catch-up credit for past idleness), and the clocks reset whenever
+        # the queue fully drains.
+        self._tenant_clock: Dict[str, float] = {}
+        self._tenant_counters: Dict[str, Dict[str, int]] = {}
         self._counters = {
             "requests": 0,
             "hits": 0,            # served warm (store, no pipeline)
-            "misses": 0,          # cold: triggered a pipeline run
+            "misses": 0,          # cold: admitted a pipeline build
             "inflight_dedup": 0,  # attached to an identical in-flight build
-            "rejected_submissions": 0,  # max_pending backpressure rejections
+            "rejected_submissions": 0,  # admission-cap rejections (all tenants)
             "pipeline_runs": 0,
+            "pipeline_failures": 0,  # builds that raised (incl. dispatch failures)
+            "gc_runs": 0,
             "batches_streamed": 0,
             # executor memory telemetry (regenerate-then-verify paths)
             "workloads_executed": 0,
@@ -165,6 +347,13 @@ class RegenerationService:
             "executor_batches": 0,
             "executor_peak_batch_rows": 0,
         }
+        self._gc_stop = threading.Event()
+        self._gc_thread: Optional[threading.Thread] = None
+        if self.gc_interval is not None and self.gc_interval > 0:
+            self._gc_thread = threading.Thread(
+                target=self._gc_loop, name="regen-gc", daemon=True
+            )
+            self._gc_thread.start()
 
     # ------------------------------------------------------------------ #
     # request front-end
@@ -181,16 +370,19 @@ class RegenerationService:
         return self.backend.fingerprint(workload, relations)
 
     def submit(self, workload: ConstraintSet,
-               relations: Optional[Sequence[str]] = None) -> Ticket:
+               relations: Optional[Sequence[str]] = None,
+               tenant: str = DEFAULT_TENANT) -> Ticket:
         """Submit a regeneration request; returns a ticket immediately.
 
         Warm requests resolve synchronously from the store.  Cold requests
-        start one pipeline build on the worker pool; identical requests
-        submitted while it runs share that single build (single-flight).
-        When ``max_pending`` cold builds are already queued or running, a
-        further cold submission raises
-        :class:`~repro.errors.ServiceOverloadedError` instead of growing the
-        backlog without bound.
+        are admitted into the fair cold-build queue under ``tenant`` and run
+        on the worker pool — FIFO within the tenant, weighted round-robin
+        across tenants; identical requests submitted while one is in flight
+        share that single build (single-flight), whatever their tenant.
+        Admission is refused with
+        :class:`~repro.errors.ServiceOverloadedError` when the global
+        ``max_pending`` cap or the tenant's ``max_pending_per_tenant`` cap
+        is full; warm requests and in-flight dedup are always admitted.
         """
         fingerprint = self.fingerprint(workload, relations)
         with self._lock:
@@ -210,39 +402,167 @@ class RegenerationService:
                 return Ticket(fingerprint, flight)
             if summary is not None:
                 self._counters["hits"] += 1
-                return Ticket(fingerprint, _Flight(summary, warm=True))
+                return Ticket(fingerprint, _Flight(summary, warm=True,
+                                                   tenant=tenant))
+            if self._closed:
+                raise ServiceClosedError(
+                    "service is closed; no new cold builds are accepted"
+                )
+            tenant_row = self._tenant_counters.setdefault(
+                tenant, {"admitted": 0, "rejected": 0,
+                         "completed": 0, "failed": 0},
+            )
             if (self.max_pending is not None
                     and len(self._flights) >= self.max_pending):
                 self._counters["rejected_submissions"] += 1
+                tenant_row["rejected"] += 1
                 raise ServiceOverloadedError(
                     f"{len(self._flights)} cold builds already pending"
                     f" (max_pending={self.max_pending}); retry later"
                 )
+            pending = self._pending_by_tenant.get(tenant, 0)
+            if (self.max_pending_per_tenant is not None
+                    and pending >= self.max_pending_per_tenant):
+                self._counters["rejected_submissions"] += 1
+                tenant_row["rejected"] += 1
+                raise ServiceOverloadedError(
+                    f"tenant {tenant!r} has {pending} cold builds pending"
+                    f" (max_pending_per_tenant={self.max_pending_per_tenant});"
+                    " retry later"
+                )
             self._counters["misses"] += 1
-            flight = _Flight()
+            tenant_row["admitted"] += 1
+            flight = _Flight(tenant=tenant)
             self._flights[fingerprint] = flight
-        self._executor.submit(self._build, fingerprint, workload, relations, flight)
+            if pending == 0:
+                self._activate_tenant_locked(tenant)
+            self._pending_by_tenant[tenant] = pending + 1
+            self._queues.setdefault(tenant, deque()).append(
+                _QueuedBuild(fingerprint, workload, relations, flight)
+            )
+            self._dispatch_locked()
         return Ticket(fingerprint, flight)
 
     def summarize(self, workload: ConstraintSet,
                   relations: Optional[Sequence[str]] = None,
-                  timeout: Optional[float] = None) -> DatabaseSummary:
+                  timeout: Optional[float] = None,
+                  tenant: str = DEFAULT_TENANT) -> DatabaseSummary:
         """Blocking convenience wrapper: submit and wait for the summary."""
-        return self.submit(workload, relations).result(timeout)
+        return self.submit(workload, relations, tenant=tenant).result(timeout)
 
-    def _build(self, fingerprint: str, workload: ConstraintSet,
-               relations: Optional[Sequence[str]], flight: _Flight) -> None:
+    # ------------------------------------------------------------------ #
+    # fair dispatch
+    # ------------------------------------------------------------------ #
+    def _activate_tenant_locked(self, tenant: str) -> None:
+        """Start (or resume) a tenant's service clock for this busy period.
+
+        A tenant going from idle to having queued work starts at the
+        least-served *active* tenant's clock — never below it.  It gets no
+        catch-up credit for time it spent idle, so a newcomer (or a tenant
+        returning after a long absence) cannot monopolise the build slots
+        against tenants that have been paying their way all along.
+        """
+        active = [self._tenant_clock.get(name, 0.0)
+                  for name in (set(self._running_by_tenant)
+                               | {n for n, q in self._queues.items() if q})
+                  if name != tenant]
+        floor = min(active) if active else 0.0
+        self._tenant_clock[tenant] = max(
+            self._tenant_clock.get(tenant, 0.0), floor
+        )
+
+    def _next_tenant_locked(self) -> Optional[str]:
+        """The tenant whose queue head runs next: weighted-fair selection.
+
+        Among tenants with queued work, pick the one with the lowest service
+        clock — each dispatch charges 1/weight, so within a busy period each
+        tenant's share of cold-build slots converges to its weight, and a
+        burst from one tenant cannot push another tenant's queued build back
+        more than its fair share.  Ties break by name for determinism.
+        """
+        eligible = [t for t, queue in self._queues.items() if queue]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda t: (self._tenant_clock.get(t, 0.0), t))
+
+    def _dispatch_locked(self) -> None:
+        """Hand queued builds to free worker slots (caller holds the lock)."""
+        while self._running_total < self._max_workers:
+            tenant = self._next_tenant_locked()
+            if tenant is None:
+                break
+            queue = self._queues[tenant]
+            build = queue.popleft()
+            if not queue:
+                del self._queues[tenant]
+            self._running_total += 1
+            self._running_by_tenant[tenant] = \
+                self._running_by_tenant.get(tenant, 0) + 1
+            self._tenant_clock[tenant] = self._tenant_clock.get(tenant, 0.0) \
+                + 1.0 / max(1, self.tenant_weights.get(tenant, 1))
+            try:
+                self._executor.submit(self._run_build, build)
+            except BaseException as error:
+                # The pool refused the build (shut down racing this submit):
+                # fail the flight and unregister it, so no waiter ever hangs
+                # on an event that will never be set and no admission slot
+                # leaks.  The while loop then drains any remaining queue the
+                # same way.
+                self._settle_build_locked(build, ServiceClosedError(
+                    f"worker pool rejected build {build.fingerprint[:12]}:"
+                    f" {error}"
+                ))
+        if self._running_total == 0 and not self._queues:
+            # Busy period over: the service clocks only measure fairness
+            # within one contended stretch, so drop them rather than letting
+            # history accumulate without bound.
+            self._tenant_clock.clear()
+            self._idle.notify_all()
+
+    def _run_build(self, build: _QueuedBuild) -> None:
+        flight = build.flight
+        error: Optional[BaseException] = None
         try:
             with self._lock:
                 self._counters["pipeline_runs"] += 1
-            build = self.backend.build(workload, relations)
-            flight.summary = build.summary
-        except BaseException as error:  # surfaced to every waiter
+            result = self.backend.build(build.workload, build.relations)
+            flight.summary = result.summary
+        except BaseException as caught:  # surfaced to every waiter
+            error = caught
+        with self._lock:
+            self._settle_build_locked(build, error)
+            self._dispatch_locked()
+
+    def _settle_build_locked(self, build: _QueuedBuild,
+                             error: Optional[BaseException]) -> None:
+        """Settle one dispatched build: wake waiters, release its slot and
+        keep every counter exact (dispatching the next build is the
+        caller's move)."""
+        flight = build.flight
+        tenant = flight.tenant
+        if error is not None:
             flight.error = error
-        finally:
-            flight.event.set()
-            with self._lock:
-                self._flights.pop(fingerprint, None)
+        flight.event.set()
+        self._flights.pop(build.fingerprint, None)
+        self._running_total -= 1
+        running = self._running_by_tenant.get(tenant, 1) - 1
+        if running > 0:
+            self._running_by_tenant[tenant] = running
+        else:
+            self._running_by_tenant.pop(tenant, None)
+        pending = self._pending_by_tenant.get(tenant, 1) - 1
+        if pending > 0:
+            self._pending_by_tenant[tenant] = pending
+        else:
+            self._pending_by_tenant.pop(tenant, None)
+        row = self._tenant_counters.setdefault(
+            tenant, {"admitted": 0, "rejected": 0, "completed": 0, "failed": 0},
+        )
+        if error is None:
+            row["completed"] += 1
+        else:
+            row["failed"] += 1
+            self._counters["pipeline_failures"] += 1
 
     # ------------------------------------------------------------------ #
     # streaming
@@ -259,19 +579,21 @@ class RegenerationService:
         the pipeline).  Resolution happens eagerly — an unknown fingerprint
         or a failed build raises at the call site, not at first iteration.
         Each call returns an independent cursor; concurrent consumers can
-        shard a relation with ``start_row``/``stop_row``.
+        shard a relation with ``start_row``/``stop_row``.  The cursor holds
+        a store pin from the moment it is handed out until it is exhausted
+        (or closed/collected): store GC never evicts an entry backing an
+        in-flight stream.
         """
         fingerprint, summary = self._resolve_summary(request, timeout)
         generator = self._generator(fingerprint, relation, summary)
         batches = generator.stream_range(start_row, stop_row, batch_size=batch_size)
 
-        def cursor() -> Iterator[Table]:
-            for batch in batches:
-                with self._lock:
-                    self._counters["batches_streamed"] += 1
-                yield batch
+        def count_batch() -> None:
+            with self._lock:
+                self._counters["batches_streamed"] += 1
 
-        return cursor()
+        return _PinnedCursor(self.store, fingerprint, batches,
+                             on_batch=count_batch)
 
     def total_rows(self, request: Union[ConstraintSet, str], relation: str) -> int:
         """Rows the given relation regenerates to (without generating)."""
@@ -313,6 +635,8 @@ class RegenerationService:
         generators — the same ones :meth:`stream` serves shards from — so
         repeated regenerate-then-verify calls pay the summary expansion
         setup once and their batches show up in the shared diagnostics.
+        Scanning streams pin the store entry exactly like :meth:`stream`
+        cursors do.
         """
         fingerprint, summary = self._resolve_summary(request, timeout)
         database = Database(self.schema, name=f"regen-{fingerprint[:12]}")
@@ -321,7 +645,10 @@ class RegenerationService:
 
             def stream_factory(generator: TupleGenerator = generator,
                                ) -> Iterator[Table]:
-                return generator.stream(batch_size=batch_size)
+                return _PinnedCursor(
+                    self.store, fingerprint,
+                    generator.stream(batch_size=batch_size),
+                )
 
             database.attach_stream(relation, stream_factory,
                                    row_count=generator.total_rows)
@@ -388,12 +715,40 @@ class RegenerationService:
             return generator
 
     # ------------------------------------------------------------------ #
+    # store lifecycle
+    # ------------------------------------------------------------------ #
+    def gc(self) -> Dict[str, int]:
+        """One store GC pass (TTL expiration + LRU eviction to caps).
+
+        Safe to call any time: entries backing in-flight streams are pinned
+        and survive.  Returns the store's compaction report.
+        """
+        report = self.store.compact()
+        with self._lock:
+            self._counters["gc_runs"] += 1
+        return report
+
+    def _gc_loop(self) -> None:
+        while not self._gc_stop.wait(self.gc_interval):
+            try:
+                self.gc()
+            except Exception:  # pragma: no cover - GC must never kill serving
+                pass
+
+    # ------------------------------------------------------------------ #
     # observability / lifecycle
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
-        """Serving counters plus the store's and LP solver's own counters."""
+        """Serving counters plus the store's and LP solver's own counters.
+
+        Flat ints only (monitoring-friendly); :meth:`service_stats` adds the
+        per-tenant breakdown.
+        """
         with self._lock:
             counters = dict(self._counters)
+            counters["queue_depth"] = sum(
+                len(queue) for queue in self._queues.values()
+            )
         # Custom backends need not wrap a solver-carrying pipeline; report
         # zeros rather than crashing the observability path.
         solver = getattr(getattr(self.backend, "pipeline", None), "solver", None)
@@ -406,8 +761,42 @@ class RegenerationService:
         counters.update(self.store.counters())
         return counters
 
-    def close(self) -> None:
-        """Finish in-flight builds and release the worker pool."""
+    def service_stats(self) -> ServiceStats:
+        """Structured telemetry: flat counters plus per-tenant admission rows."""
+        counters = self.stats()
+        with self._lock:
+            names = set(self._tenant_counters) | set(self._queues) \
+                | set(self._running_by_tenant)
+            tenants = tuple(
+                TenantStats(
+                    tenant=name,
+                    queued=len(self._queues.get(name, ())),
+                    running=self._running_by_tenant.get(name, 0),
+                    **self._tenant_counters.get(
+                        name, {"admitted": 0, "rejected": 0,
+                               "completed": 0, "failed": 0},
+                    ),
+                )
+                for name in sorted(names)
+            )
+            queue_depth = sum(len(queue) for queue in self._queues.values())
+        return ServiceStats(counters=counters, tenants=tenants,
+                            queue_depth=queue_depth)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Drain the cold-build queue, finish in-flight builds and release
+        the worker pool (new cold submissions now fail fast with
+        :class:`~repro.errors.ServiceClosedError`; warm serving and
+        streaming keep working)."""
+        with self._idle:
+            self._closed = True
+            self._idle.wait_for(
+                lambda: self._running_total == 0 and not self._queues,
+                timeout,
+            )
+        self._gc_stop.set()
+        if self._gc_thread is not None:
+            self._gc_thread.join(timeout=5.0)
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> "RegenerationService":

@@ -8,7 +8,9 @@ store directory::
     <root>/
       store.json                      format marker {"format": 1}
       summaries/<fp[:2]>/<fp>.json.gz one entry per workload fingerprint
+      summaries/<fp[:2]>/<fp>.touch   zero-byte recency marker (mtime = last use)
       components/<k[:2]>/<k>.json.gz  one entry per LP component solution
+      components/<k[:2]>/<k>.touch    zero-byte recency marker
 
 Entries are gzipped JSON written atomically (temp file + ``os.replace``), so
 a crashed writer can never leave a half-visible entry, and concurrent writers
@@ -21,15 +23,26 @@ Reads go through an LRU-bounded in-memory layer, so a serving process pays
 the disk round-trip once per hot entry.  A store with ``root=None`` keeps the
 same interface but lives purely in memory (useful for tests and ephemeral
 services).
+
+Lifecycle: a store can be bounded with ``max_store_bytes`` / ``max_entries``
+/ ``ttl_seconds``.  :meth:`compact` is the GC pass — it drops entries whose
+last use is older than the TTL, then evicts strictly least-recently-used
+entries until the store is back under its caps.  Recency is tracked in
+zero-byte ``.touch`` sidecar files (their mtime is the last-used timestamp),
+so every process mounting a shared store directory sees the same LRU order.
+Entries :meth:`pin`-ned by a reader (e.g. an in-flight tuple stream) are
+never expired or evicted while the pin is held.
 """
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import json
 import os
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
@@ -49,6 +62,13 @@ DEFAULT_MEMORY_ENTRIES = 64
 #: Default capacity of the in-memory layer of :class:`StoreSolutionCache`.
 DEFAULT_COMPONENT_MEMORY = 256
 
+#: Suffix of the per-entry recency sidecar files.
+TOUCH_SUFFIX = ".touch"
+
+#: Sentinel distinguishing "use the store's configured value" from an
+#: explicit ``None`` (= unlimited) override in :meth:`SummaryStore.compact`.
+_UNSET = object()
+
 
 class SummaryStore:
     """Persistent, content-addressed store of regeneration artefacts.
@@ -61,11 +81,33 @@ class SummaryStore:
     memory_entries:
         Capacity of the in-memory summary layer.  Ignored (unbounded) when
         ``root`` is ``None`` — memory is then the only copy.
+    max_store_bytes:
+        Total size cap (entry payload bytes, summaries + components).
+        :meth:`compact` evicts LRU-first until the store fits; a fresh
+        ``put_summary`` triggers an opportunistic compaction when the cap is
+        exceeded.  ``None`` disables the cap.
+    max_entries:
+        Cap on the number of *summary* entries (components are bounded by
+        ``max_store_bytes`` only).  ``None`` disables the cap.
+    ttl_seconds:
+        Entries whose last use is older than this are dropped by
+        :meth:`compact`.  ``None`` disables expiration.
     """
 
     def __init__(self, root: Optional[Union[str, Path]] = None,
-                 memory_entries: int = DEFAULT_MEMORY_ENTRIES) -> None:
+                 memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+                 max_store_bytes: Optional[int] = None,
+                 max_entries: Optional[int] = None,
+                 ttl_seconds: Optional[float] = None) -> None:
+        for name, value in (("max_store_bytes", max_store_bytes),
+                            ("max_entries", max_entries),
+                            ("ttl_seconds", ttl_seconds)):
+            if value is not None and value < 0:
+                raise SummaryStoreError(f"{name} must be non-negative (or None)")
         self.root = Path(root) if root is not None else None
+        self.max_store_bytes = max_store_bytes
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
         # The in-memory layer is unbounded for memory-only stores (it is the
         # only copy) and LRU-bounded over a disk backing.
         self._summaries = LRUSolutionCache(
@@ -77,11 +119,26 @@ class SummaryStore:
             "summary_hits": 0,
             "summary_misses": 0,
             "corrupt_entries": 0,
+            "evictions": 0,
+            "expirations": 0,
         }
+        #: Refcounted pins: ``{fingerprint: count}``.  Pinned summaries are
+        #: immune to TTL expiration and LRU eviction while the pin is held.
+        self._pins: Dict[str, int] = {}
+        # In-memory recency ledger ``(kind, key) -> last_used_at``.  For a
+        # disk store the ``.touch`` files are the cross-process source of
+        # truth; this dict is the memory-only store's only record.
+        self._last_used: Dict[Tuple[str, str], float] = {}
+        # Memory-only occupancy: component payloads and per-entry size
+        # estimates (a disk store accounts real file sizes instead).
+        self._mem_components: Dict[str, LPSolution] = {}
+        self._entry_sizes: Dict[Tuple[str, str], int] = {}
+        self._memory_bytes = 0
         # Running disk accounting, maintained by our own writes so the hot
         # paths never re-walk the directory tree.  Initialised with one scan
         # at open; writes by *other* processes after that are not reflected
-        # until the store is reopened (monitoring data, not a ledger).
+        # until the store is reopened or compacted (monitoring data, not a
+        # ledger).
         self._disk_bytes = 0
         self._disk_entries = {"summaries": 0, "components": 0}
         if self.root is not None:
@@ -119,6 +176,9 @@ class SummaryStore:
             raise SummaryStoreError("memory-only store has no entry files")
         return self.root / kind / key[:2] / f"{key}.json.gz"
 
+    def _touch_path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}{TOUCH_SUFFIX}"
+
     @staticmethod
     def _atomic_write(path: Path, payload: bytes) -> None:
         """Write ``payload`` so the file is either absent or complete."""
@@ -135,6 +195,46 @@ class SummaryStore:
                 pass
             raise
 
+    def _touch(self, kind: str, key: str, now: Optional[float] = None) -> None:
+        """Record a use of ``(kind, key)`` — in memory, and for a disk store
+        in the entry's ``.touch`` sidecar so other processes see it too."""
+        stamp = time.time() if now is None else now
+        # The whole update happens under the lock so a concurrent GC pass
+        # (whose deletions re-check recency under the same lock) can never
+        # interleave between the ledger update and the sidecar utime.
+        with self._lock:
+            self._last_used[(kind, key)] = stamp
+            if self.root is None:
+                return
+            touch = self._touch_path(kind, key)
+            try:
+                os.utime(touch, (stamp, stamp))
+            except OSError:
+                # No sidecar yet (legacy entry) — create one, but only for
+                # an entry that actually exists: resurrecting a sidecar for
+                # an entry another process evicted would leak orphan files.
+                if not self._entry_path(kind, key).exists():
+                    return
+                try:
+                    touch.parent.mkdir(parents=True, exist_ok=True)
+                    touch.touch()
+                    os.utime(touch, (stamp, stamp))
+                except OSError:  # pragma: no cover - recency is best-effort
+                    pass
+
+    def _last_used_at(self, kind: str, key: str) -> Optional[float]:
+        """Best-effort last-use timestamp of an entry (``None`` if unknown)."""
+        if self.root is not None:
+            try:
+                return self._touch_path(kind, key).stat().st_mtime
+            except OSError:
+                try:
+                    return self._entry_path(kind, key).stat().st_mtime
+                except OSError:
+                    pass
+        with self._lock:
+            return self._last_used.get((kind, key))
+
     def _write_entry(self, kind: str, key: str, payload: Mapping[str, object]) -> None:
         if self.root is None:
             return
@@ -148,9 +248,19 @@ class SummaryStore:
             except OSError:
                 previous = None
             self._atomic_write(path, blob)
+            # Overwrites replace the old file: subtract its size so the
+            # running byte counter never double-counts, and only a first
+            # write counts as a new entry.
             self._disk_bytes += len(blob) - (previous or 0)
             if previous is None:
                 self._disk_entries[kind] += 1
+
+    def _account_memory_entry(self, kind: str, key: str, size: int) -> None:
+        """Memory-only occupancy ledger (mirrors the disk byte counter)."""
+        with self._lock:
+            previous = self._entry_sizes.get((kind, key), 0)
+            self._entry_sizes[(kind, key)] = size
+            self._memory_bytes += size - previous
 
     def _read_entry(self, kind: str, key: str) -> Dict[str, object]:
         """Strict read: raise :class:`SummaryStoreError` on anything that is
@@ -173,6 +283,8 @@ class SummaryStore:
 
     def _iter_keys(self, kind: str) -> Iterator[str]:
         if self.root is None:
+            if kind == "components":
+                yield from sorted(self._mem_components)
             return
         base = self.root / kind
         if not base.is_dir():
@@ -198,6 +310,18 @@ class SummaryStore:
             "meta": entry_meta,
             "summary": summary.to_dict(),
         })
+        if self.root is None:
+            self._account_memory_entry("summaries", fingerprint,
+                                       int(summary.nbytes()))
+        self._touch("summaries", fingerprint)
+        # Opportunistic GC: a store over its size caps compacts right after
+        # the write that pushed it over (TTL-only stores are compacted by
+        # the service's GC thread or an explicit compact()/CLI gc instead).
+        # The fresh entry is pinned so churn can never evict what was just
+        # written — strictly-LRU order among the *other* entries still holds.
+        if self._over_size_caps():
+            with self.pinned(fingerprint):
+                self.compact()
 
     def get_summary(self, fingerprint: str) -> Optional[DatabaseSummary]:
         """Serving-path read: ``None`` on miss *and* on corrupted entries
@@ -206,6 +330,7 @@ class SummaryStore:
         cached = self._summaries.get(fingerprint)
         if cached is not None:
             self.stats["summary_hits"] += 1
+            self._touch("summaries", fingerprint)
             return cached  # type: ignore[return-value]
         if self.root is None or not self._entry_path("summaries", fingerprint).exists():
             self.stats["summary_misses"] += 1
@@ -233,19 +358,28 @@ class SummaryStore:
             meta = payload.get("meta")
             if isinstance(meta, dict):
                 self._metas[fingerprint] = meta
+        self._touch("summaries", fingerprint)
         return summary
 
     def has_summary(self, fingerprint: str) -> bool:
-        """``True`` when a summary entry exists (memory or disk)."""
-        if self._summaries.get(fingerprint) is not None:
-            return True
-        return self.root is not None and \
-            self._entry_path("summaries", fingerprint).exists()
+        """``True`` when a summary entry exists (memory or disk).
+
+        A pure peek: unlike :meth:`get_summary` it does not refresh the
+        entry's recency."""
+        if self.root is None:
+            return self._summaries.get(fingerprint) is not None
+        # Disk is the source of truth for a backed store: an entry evicted
+        # from disk (possibly by another process's GC) no longer exists even
+        # if a stale copy lingers in this process's memory layer.
+        return self._entry_path("summaries", fingerprint).exists()
 
     def summary_fingerprints(self) -> List[str]:
         """All stored workload fingerprints."""
-        keys = set(self._summaries.keys())
-        keys.update(self._iter_keys("summaries"))
+        if self.root is None:
+            return sorted(self._summaries.keys())
+        keys = set(self._iter_keys("summaries"))
+        # Memory-layer entries not (or no longer) on disk are not listed:
+        # disk is the source of truth for a backed store.
         return sorted(keys)
 
     def entries(self) -> List[Dict[str, object]]:
@@ -254,19 +388,268 @@ class SummaryStore:
         for fingerprint in self.summary_fingerprints():
             with self._lock:
                 meta = self._metas.get(fingerprint)
+                pinned = fingerprint in self._pins
             if meta is None and self.root is not None:
                 try:
                     meta = self._read_entry("summaries", fingerprint).get("meta", {})
                 except SummaryStoreError:
                     meta = {"corrupt": True}
-            out.append({"fingerprint": fingerprint, **(meta or {})})
+            entry: Dict[str, object] = {"fingerprint": fingerprint, **(meta or {})}
+            last_used = self._last_used_at("summaries", fingerprint)
+            if last_used is not None:
+                entry["last_used_at"] = round(last_used, 3)
+            entry["pinned"] = pinned
+            out.append(entry)
         return out
+
+    # ------------------------------------------------------------------ #
+    # pinning
+    # ------------------------------------------------------------------ #
+    def pin(self, fingerprint: str) -> None:
+        """Protect a summary from expiration/eviction (refcounted)."""
+        with self._lock:
+            self._pins[fingerprint] = self._pins.get(fingerprint, 0) + 1
+
+    def unpin(self, fingerprint: str) -> None:
+        """Release one :meth:`pin` reference."""
+        with self._lock:
+            count = self._pins.get(fingerprint, 0) - 1
+            if count > 0:
+                self._pins[fingerprint] = count
+            else:
+                self._pins.pop(fingerprint, None)
+
+    @contextlib.contextmanager
+    def pinned(self, fingerprint: str) -> Iterator[None]:
+        """Context manager holding a :meth:`pin` for the ``with`` body."""
+        self.pin(fingerprint)
+        try:
+            yield
+        finally:
+            self.unpin(fingerprint)
+
+    def pin_count(self, fingerprint: str) -> int:
+        """Current number of pins held on ``fingerprint``."""
+        with self._lock:
+            return self._pins.get(fingerprint, 0)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle: TTL expiration + LRU eviction
+    # ------------------------------------------------------------------ #
+    def _over_size_caps(self) -> bool:
+        counters = self.counters()
+        if self.max_entries is not None and counters["summaries"] > self.max_entries:
+            return True
+        return self.max_store_bytes is not None \
+            and counters["store_bytes"] > self.max_store_bytes
+
+    def _scan_candidates(self) -> List[Tuple[float, str, str, int]]:
+        """Every entry as ``(last_used_at, kind, key, size)``, oldest first."""
+        candidates: List[Tuple[float, str, str, int]] = []
+        if self.root is not None:
+            for kind in ("summaries", "components"):
+                base = self.root / kind
+                if not base.is_dir():
+                    continue
+                for path in base.glob("*/*.json.gz"):
+                    key = path.name[: -len(".json.gz")]
+                    try:
+                        size = path.stat().st_size
+                    except OSError:
+                        continue  # raced with a concurrent deleter
+                    last_used = self._last_used_at(kind, key)
+                    if last_used is None:
+                        last_used = 0.0
+                    candidates.append((last_used, kind, key, size))
+        else:
+            with self._lock:
+                for key in self._summaries.keys():
+                    candidates.append((
+                        self._last_used.get(("summaries", key), 0.0),
+                        "summaries", key,
+                        self._entry_sizes.get(("summaries", key), 0),
+                    ))
+                for key in self._mem_components:
+                    candidates.append((
+                        self._last_used.get(("components", key), 0.0),
+                        "components", key,
+                        self._entry_sizes.get(("components", key), 0),
+                    ))
+        candidates.sort()
+        return candidates
+
+    def _delete_entry(self, kind: str, key: str, size: int,
+                      seen_last_used: Optional[float] = None) -> bool:
+        """Remove one entry everywhere and keep the counters exact.
+
+        ``seen_last_used`` is the recency the GC pass based its decision on:
+        if the entry was touched (warm hit) or rewritten (rebuild) after the
+        scan, the deletion is skipped — an entry that was just used or just
+        paid for is never removed on a stale snapshot.  Holding the lock
+        here serialises against this process's writers (``_write_entry`` and
+        ``_touch`` update under the same lock); cross-process races shrink
+        to the unlink itself.  Returns ``True`` when the entry was removed.
+        """
+        with self._lock:
+            if seen_last_used is not None:
+                if self.root is not None:
+                    try:
+                        current = self._touch_path(kind, key).stat().st_mtime
+                    except OSError:
+                        current = None
+                else:
+                    current = self._last_used.get((kind, key))
+                if current is not None and current > seen_last_used + 1e-6:
+                    return False  # used/rebuilt since the scan: keep it
+            if self.root is not None:
+                removed = True
+                try:
+                    os.unlink(self._entry_path(kind, key))
+                except FileNotFoundError:
+                    removed = False  # another process already dropped it
+                except OSError:
+                    return False  # file may still exist: leave the ledger
+                try:
+                    os.unlink(self._touch_path(kind, key))
+                except OSError:
+                    pass
+                if removed:
+                    self._disk_bytes -= size
+                    self._disk_entries[kind] -= 1
+            self._last_used.pop((kind, key), None)
+            dropped = self._entry_sizes.pop((kind, key), None)
+            if dropped is not None:
+                self._memory_bytes -= dropped
+            if kind == "summaries":
+                self._metas.pop(key, None)
+            else:
+                self._mem_components.pop(key, None)
+        if kind == "summaries":
+            self._summaries.pop(key)
+        return True
+
+    def _sweep_orphan_touches(self) -> None:
+        """Drop recency sidecars whose entry file no longer exists (e.g.
+        evicted by another process) so a shared store never accumulates
+        orphan touch files."""
+        if self.root is None:
+            return
+        for kind in ("summaries", "components"):
+            base = self.root / kind
+            if not base.is_dir():
+                continue
+            for touch in base.glob(f"*/*{TOUCH_SUFFIX}"):
+                entry = touch.with_name(
+                    touch.name[: -len(TOUCH_SUFFIX)] + ".json.gz"
+                )
+                if not entry.exists():
+                    try:
+                        os.unlink(touch)
+                    except OSError:  # pragma: no cover - racing writer wins
+                        pass
+
+    def _resync_disk_counters(self) -> None:
+        """Re-derive the running disk counters from the directory tree.
+
+        Called at the end of every :meth:`compact` pass, so concurrent
+        writes/deletes by *other* processes are folded back in and the
+        counters stay exact — the GC pass is the one place already paying a
+        directory scan."""
+        if self.root is None:
+            return
+        total = 0
+        entries = {"summaries": 0, "components": 0}
+        for kind in ("summaries", "components"):
+            base = self.root / kind
+            if not base.is_dir():
+                continue
+            for path in base.glob("*/*.json.gz"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                entries[kind] += 1
+        with self._lock:
+            self._disk_bytes = total
+            self._disk_entries = entries
+
+    def compact(self, max_store_bytes: object = _UNSET,
+                max_entries: object = _UNSET,
+                ttl_seconds: object = _UNSET,
+                now: Optional[float] = None) -> Dict[str, int]:
+        """One GC pass: TTL expiration, then strictly-LRU eviction to caps.
+
+        The arguments override the store's configured limits for this pass
+        only (pass ``None`` explicitly for "unlimited").  Pinned summaries
+        are never removed.  Deletions are crash-safe — each entry file is
+        unlinked atomically and the running byte/entry counters are adjusted
+        exactly once per removed file — and cheap relative to builds: one
+        directory scan per pass, none on the serving hot path.
+
+        Returns a report: entries ``expired`` (TTL), ``evicted`` (caps),
+        ``reclaimed_bytes``, and the post-compaction occupancy.
+        """
+        byte_cap = self.max_store_bytes if max_store_bytes is _UNSET else max_store_bytes
+        entry_cap = self.max_entries if max_entries is _UNSET else max_entries
+        ttl = self.ttl_seconds if ttl_seconds is _UNSET else ttl_seconds
+        stamp = time.time() if now is None else now
+        with self._lock:
+            pinned = set(self._pins)
+        candidates = self._scan_candidates()
+        expired = evicted = reclaimed = 0
+        survivors: List[Tuple[float, str, str, int]] = []
+        for last_used, kind, key, size in candidates:
+            if kind == "summaries" and key in pinned:
+                survivors.append((last_used, kind, key, size))
+                continue
+            if ttl is not None and stamp - last_used > ttl \
+                    and self._delete_entry(kind, key, size,
+                                           seen_last_used=last_used):
+                expired += 1
+                reclaimed += size
+            else:
+                survivors.append((last_used, kind, key, size))
+        total_bytes = sum(size for _, _, _, size in survivors)
+        summary_count = sum(1 for _, kind, _, _ in survivors if kind == "summaries")
+        for last_used, kind, key, size in survivors:  # oldest first
+            over_bytes = byte_cap is not None and total_bytes > byte_cap
+            over_entries = entry_cap is not None and summary_count > entry_cap
+            if not over_bytes and not over_entries:
+                break
+            if kind == "summaries" and key in pinned:
+                continue
+            if kind == "components" and not over_bytes:
+                continue  # components only count toward the byte cap
+            if not self._delete_entry(kind, key, size, seen_last_used=last_used):
+                continue  # touched since the scan: no longer LRU, keep it
+            evicted += 1
+            reclaimed += size
+            total_bytes -= size
+            if kind == "summaries":
+                summary_count -= 1
+        self._sweep_orphan_touches()
+        self._resync_disk_counters()
+        with self._lock:
+            self.stats["expirations"] += expired
+            self.stats["evictions"] += evicted
+        report = {"expired": expired, "evicted": evicted,
+                  "reclaimed_bytes": reclaimed}
+        report.update(self.counters())
+        return report
 
     # ------------------------------------------------------------------ #
     # LP component solutions
     # ------------------------------------------------------------------ #
     def put_component(self, key: str, solution: LPSolution) -> None:
         """Persist one LP component solution under its canonical key."""
+        if self.root is None:
+            with self._lock:
+                self._mem_components[key] = solution
+            self._account_memory_entry(
+                "components", key, int(solution.values.nbytes) + 64
+            )
+            self._touch("components", key)
+            return
         self._write_entry("components", key, {
             "format": STORE_FORMAT,
             "key": key,
@@ -275,15 +658,22 @@ class SummaryStore:
             "method": solution.method,
             "max_violation": float(solution.max_violation),
         })
+        self._touch("components", key)
 
     def get_component(self, key: str) -> Optional[LPSolution]:
         """Read one component solution; ``None`` on miss or corruption."""
-        if self.root is None or not self._entry_path("components", key).exists():
+        if self.root is None:
+            with self._lock:
+                solution = self._mem_components.get(key)
+            if solution is not None:
+                self._touch("components", key)
+            return solution
+        if not self._entry_path("components", key).exists():
             return None
         try:
             payload = self._read_entry("components", key)
             values = np.asarray(payload["values"], dtype=np.int64)
-            return LPSolution(
+            solution = LPSolution(
                 values=values,
                 feasible=bool(payload["feasible"]),
                 method=str(payload["method"]),
@@ -293,6 +683,8 @@ class SummaryStore:
         except (SummaryStoreError, KeyError, TypeError, ValueError):
             self.stats["corrupt_entries"] += 1
             return None
+        self._touch("components", key)
+        return solution
 
     def solution_cache(self, memory_size: int = DEFAULT_COMPONENT_MEMORY) -> "StoreSolutionCache":
         """A solver cache backend persisting through this store.
@@ -307,27 +699,33 @@ class SummaryStore:
     # statistics
     # ------------------------------------------------------------------ #
     def store_bytes(self) -> int:
-        """Total bytes of all entry files on disk (0 for memory-only).
+        """Total bytes of all entry payloads (real file sizes on disk, the
+        per-entry size estimates for a memory-only store).
 
-        Served from the running counter — no directory walk; bytes written
-        by other processes appear after reopening the store.
+        Served from the running counters — no directory walk; bytes written
+        by other processes appear after reopening or compacting the store.
         """
         with self._lock:
+            if self.root is None:
+                return self._memory_bytes
             return self._disk_bytes
 
     def counters(self) -> Dict[str, int]:
-        """Hit/miss/corruption counters plus current occupancy."""
+        """Hit/miss/corruption/GC counters plus current occupancy."""
         with self._lock:
-            summaries = self._disk_entries["summaries"]
-            components = self._disk_entries["components"]
-            bytes_on_disk = self._disk_bytes
-        if self.root is None:
-            summaries = len(self._summaries)
+            if self.root is None:
+                summaries = len(self._summaries)
+                components = len(self._mem_components)
+                occupancy = self._memory_bytes
+            else:
+                summaries = self._disk_entries["summaries"]
+                components = self._disk_entries["components"]
+                occupancy = self._disk_bytes
         return {
             **self.stats,
             "summaries": summaries,
             "components": components,
-            "store_bytes": bytes_on_disk,
+            "store_bytes": occupancy,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

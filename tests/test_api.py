@@ -549,3 +549,30 @@ class TestUnifiedCLIRoundTrip:
         assert regen.returncode == 0, regen.stderr
         assert "warm=True" in regen.stdout  # served from the warmed store
         assert "streamed relation=store_sales" in regen.stdout
+
+    def test_gc_churn_evicts_lru_keeps_fresh(self, tmp_path):
+        # The CI service-smoke churn phase, in-repo: warm two workloads,
+        # cap the store to one entry, gc, and assert `serve --require-warm`
+        # still exits 0 for the fresh entry but 3 for the evicted one.
+        store = str(tmp_path / "store")
+        base = ["--store", store, "--scale", "0.0002"]
+        old = self.run_cli("repro", "summarize", *base, "--queries", "4",
+                           "--tenant", "old-tenant")
+        assert old.returncode == 0, old.stderr
+        assert "tenant=old-tenant admitted=1" in old.stdout
+        fresh = self.run_cli("repro", "summarize", *base, "--queries", "5")
+        assert fresh.returncode == 0, fresh.stderr
+
+        gc = self.run_cli("repro", "gc", "--store", store, "--max-entries", "1")
+        assert gc.returncode == 0, gc.stderr
+        assert "evicted=1" in gc.stdout and "summaries=1" in gc.stdout
+
+        kept = self.run_cli("repro", "serve", *base, "--queries", "5",
+                            "--relation", "store_sales", "--max-batches", "1",
+                            "--require-warm")
+        assert kept.returncode == 0, kept.stderr
+        evicted = self.run_cli("repro", "serve", *base, "--queries", "4",
+                               "--relation", "store_sales", "--max-batches",
+                               "1", "--require-warm")
+        assert evicted.returncode == 3
+        assert "refusing" in evicted.stderr

@@ -18,9 +18,11 @@ import threading
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.constraints.cc import CardinalityConstraint
+from repro.lp.model import LPSolution
 from repro.constraints.workload import ConstraintSet
 from repro.engine.database import Database
 from repro.engine.table import Table
@@ -145,8 +147,64 @@ class TestSummaryStore:
         store = SummaryStore(None)
         store.put_summary("a" * 64, summary)
         assert store.get_summary("a" * 64) is summary
-        assert store.store_bytes() == 0
+        # Memory-only occupancy is reported, not left at the disk counters' 0.
+        assert store.store_bytes() == summary.nbytes() > 0
         assert store.get_summary("b" * 64) is None
+
+    def test_memory_only_counters_report_components(self, toy_schema):
+        # Regression: memory-only mode used to fix up only `summaries` and
+        # leave `components`/`store_bytes` at the disk counters' 0.
+        summary = Hydra(toy_schema).build_summary(toy_ccs()).summary
+        store = SummaryStore(None)
+        store.put_summary("a" * 64, summary)
+        solution = LPSolution(values=np.array([1, 2, 3], dtype=np.int64),
+                              feasible=True, method="test",
+                              max_violation=0.0, solve_seconds=0.0)
+        store.put_component("c" * 64, solution)
+        counters = store.counters()
+        assert counters["summaries"] == 1
+        assert counters["components"] == 1
+        assert counters["store_bytes"] > 0
+        restored = store.get_component("c" * 64)
+        assert restored is not None
+        assert list(restored.values) == [1, 2, 3]
+
+    def test_disk_counters_report_both_kinds(self, toy_schema, tmp_path):
+        summary = Hydra(toy_schema).build_summary(toy_ccs()).summary
+        store = SummaryStore(tmp_path / "store")
+        store.put_summary("a" * 64, summary)
+        solution = LPSolution(values=np.array([4, 5], dtype=np.int64),
+                              feasible=True, method="test",
+                              max_violation=0.0, solve_seconds=0.0)
+        store.put_component("c" * 64, solution)
+        counters = store.counters()
+        assert counters["summaries"] == 1 and counters["components"] == 1
+        # The running counters match an authoritative rescan exactly.
+        assert counters["store_bytes"] == \
+            SummaryStore(tmp_path / "store").counters()["store_bytes"]
+
+    def test_put_twice_does_not_double_count(self, toy_schema, tmp_path):
+        # Regression: overwriting an entry goes through os.replace; the
+        # running byte counter must subtract the replaced file's size and
+        # the entry counter must not grow.
+        summary = Hydra(toy_schema).build_summary(toy_ccs()).summary
+        store = SummaryStore(tmp_path / "store")
+        store.put_summary("f" * 64, summary, meta={"pass": 1})
+        first = store.counters()
+        store.put_summary("f" * 64, summary, meta={"pass": 2})
+        store.put_component("c" * 64, LPSolution(
+            values=np.array([1], dtype=np.int64), feasible=True,
+            method="test", max_violation=0.0, solve_seconds=0.0))
+        store.put_component("c" * 64, LPSolution(
+            values=np.array([1], dtype=np.int64), feasible=True,
+            method="test", max_violation=0.0, solve_seconds=0.0))
+        counters = store.counters()
+        assert counters["summaries"] == first["summaries"] == 1
+        assert counters["components"] == 1
+        fresh = SummaryStore(tmp_path / "store").counters()
+        assert counters["summaries"] == fresh["summaries"]
+        assert counters["components"] == fresh["components"]
+        assert counters["store_bytes"] == fresh["store_bytes"]
 
     def test_corrupted_entry_rejected_cleanly(self, toy_schema, tmp_path):
         summary = Hydra(toy_schema).build_summary(toy_ccs()).summary
