@@ -19,10 +19,13 @@ from repro.tuplegen.generator import materialize_database
 THRESHOLDS = [0.0, 0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 1.00]
 
 
-def test_fig10_volumetric_similarity(benchmark, tpcds_env):
+def test_fig10_volumetric_similarity(benchmark, tpcds_env, bench):
     schema, ccs = tpcds_env["schema"], tpcds_env["wls"]
 
     hydra_result = benchmark(lambda: Hydra(schema).build_summary(ccs))
+    # total_seconds is the pipeline's own end-to-end wall clock (one
+    # perf_counter span, no per-view summation).
+    bench.record_seconds("hydra_build_seconds", hydra_result.total_seconds)
     hydra_report = evaluate_on_summary(ccs, hydra_result.summary, schema)
 
     try:
@@ -38,6 +41,12 @@ def test_fig10_volumetric_similarity(benchmark, tpcds_env):
         ds_pct = (100.0 * datasynth_report.fraction_within(threshold)
                   if datasynth_report else float("nan"))
         print(f"  {threshold:>10.2f}   {hydra_pct:6.1f}%   {ds_pct:6.1f}%")
+    bench.record("fraction_exact", hydra_report.fraction_within(0.0),
+                 direction="higher", tolerance=0.02)
+    bench.record("fraction_within_10pct", hydra_report.fraction_within(0.10),
+                 direction="higher", tolerance=0.02)
+    bench.record("fraction_negative", hydra_report.fraction_negative(),
+                 direction="lower")
     print(f"  Hydra negative-error CCs    : {hydra_report.fraction_negative():.1%}")
     if datasynth_report:
         print(f"  DataSynth negative-error CCs: {datasynth_report.fraction_negative():.1%}")

@@ -17,7 +17,7 @@ from repro.metrics.timing import Timer
 from repro.tuplegen.generator import materialize_database
 
 
-def test_fig14_materialization_time(benchmark, tpcds_env):
+def test_fig14_materialization_time(benchmark, tpcds_env, bench):
     schema, ccs = tpcds_env["schema"], tpcds_env["wls"]
 
     hydra_result = Hydra(schema).build_summary(ccs)
@@ -26,6 +26,12 @@ def test_fig14_materialization_time(benchmark, tpcds_env):
         materialize_database(hydra_result.summary, schema)
     hydra_model = ThroughputModel(measured_rows=synthetic.total_rows(),
                                   measured_seconds=max(hydra_timer.seconds, 1e-3))
+    bench.record_seconds("hydra_materialize_seconds", hydra_timer.seconds)
+    bench.record("hydra_tuples_per_second", hydra_model.rows_per_second,
+                 unit="tuples/s", direction="higher", tolerance=0.50,
+                 abs_tolerance=1000.0)
+    bench.record("materialized_rows", synthetic.total_rows(), unit="rows",
+                 direction="info")
 
     datasynth_model = None
     try:

@@ -20,7 +20,7 @@ from repro.tuplegen.generator import DEFAULT_BATCH_SIZE, dynamic_database
 NUM_QUERIES = 10 if QUICK else 25
 
 
-def test_pipelined_memory_footprint(benchmark, tpcds_env):
+def test_pipelined_memory_footprint(benchmark, tpcds_env, bench):
     schema, ccs = tpcds_env["schema"], tpcds_env["wls"]
     summary = Hydra(schema).build_summary(ccs).summary
     workload = simple_workload(schema, num_queries=NUM_QUERIES, seed=3)
@@ -47,6 +47,12 @@ def test_pipelined_memory_footprint(benchmark, tpcds_env):
 
     # Equivalence: identical AQPs from both modes.
     materialized, pipelined = runs["materialize"], runs["pipelined"]
+    # The working set is a structural property (batch-size bound), so any
+    # growth is a pipelining regression, not noise: zero tolerance.
+    bench.record("pipelined_peak_batch_rows", pipelined[1].peak_batch_rows,
+                 unit="rows", direction="lower")
+    bench.record_seconds("pipelined_workload_seconds", pipelined[2])
+    bench.record_seconds("materialize_workload_seconds", materialized[2])
     assert [p.operator_cardinalities() for p in materialized[0]] == \
         [p.operator_cardinalities() for p in pipelined[0]]
     # Constant memory: the pipelined working set is bounded by the batch

@@ -10,9 +10,11 @@ The printed output of each benchmark is the reproduced table/series.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
+from repro.bench import BenchRecorder
 from repro.benchdata.datagen import generate_database
 from repro.benchdata.job import job_schema, job_workload
 from repro.benchdata.tpcds import complex_workload, simple_workload, tpcds_schema
@@ -30,6 +32,25 @@ DIMENSION_SCALE = 0.01 if QUICK else 0.02
 WLC_QUERIES = 40 if QUICK else 131
 WLS_QUERIES = 30 if QUICK else 110
 JOB_QUERIES = 60 if QUICK else 260
+
+
+@pytest.fixture(scope="module")
+def bench(request):
+    """The perf-trajectory recorder for one benchmark file.
+
+    Module-scoped: every test in ``bench_<name>.py`` records into the same
+    :class:`~repro.bench.BenchRecorder`, and at module teardown the collected
+    metrics are written atomically as ``BENCH_<name>.json`` next to the
+    benchmark (override the directory with ``BENCH_OUTPUT_DIR``, as the CI
+    gate does to avoid clobbering the committed baselines).  Durations must
+    be wall-clock — use ``bench.time(...)``/``bench.record_seconds(...)``.
+    """
+    module_path = Path(str(request.fspath))
+    recorder = BenchRecorder(module_path.stem.removeprefix("bench_"), quick=QUICK)
+    yield recorder
+    if recorder.metrics:
+        output_dir = os.environ.get("BENCH_OUTPUT_DIR") or module_path.parent
+        recorder.write(output_dir)
 
 
 @pytest.fixture(scope="session")

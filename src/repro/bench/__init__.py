@@ -1,0 +1,63 @@
+"""Benchmark telemetry: schema-versioned, machine-readable perf records.
+
+Every ``benchmarks/bench_*.py`` routes its measurements through a
+:class:`~repro.bench.recorder.BenchRecorder` and persists them atomically as
+``BENCH_<name>.json`` next to the benchmark file.  The committed JSONs form
+the repository's *perf trajectory*: ``tools/bench_compare.py`` diffs a fresh
+run against them and fails CI when a metric regresses beyond the tolerance
+declared at record time.  See ``docs/BENCHMARKS.md`` for the workflow.
+"""
+
+from repro.bench.compare import (
+    CLASS_BETTER,
+    CLASS_MISSING_BENCHMARK,
+    CLASS_MISSING_METRIC,
+    CLASS_NEW_BENCHMARK,
+    CLASS_NEW_METRIC,
+    CLASS_REGRESSED,
+    CLASS_SKIPPED,
+    CLASS_WITHIN_NOISE,
+    BenchComparison,
+    MetricVerdict,
+    classify_metric,
+    compare_dirs,
+    compare_records,
+    markdown_report,
+)
+from repro.bench.recorder import (
+    DIRECTION_HIGHER,
+    DIRECTION_INFO,
+    DIRECTION_LOWER,
+    SCHEMA_VERSION,
+    BenchRecorder,
+    Metric,
+    environment_tags,
+    load_record,
+    record_filename,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DIRECTION_LOWER",
+    "DIRECTION_HIGHER",
+    "DIRECTION_INFO",
+    "Metric",
+    "BenchRecorder",
+    "environment_tags",
+    "load_record",
+    "record_filename",
+    "classify_metric",
+    "compare_records",
+    "compare_dirs",
+    "markdown_report",
+    "MetricVerdict",
+    "BenchComparison",
+    "CLASS_BETTER",
+    "CLASS_WITHIN_NOISE",
+    "CLASS_REGRESSED",
+    "CLASS_MISSING_METRIC",
+    "CLASS_NEW_METRIC",
+    "CLASS_MISSING_BENCHMARK",
+    "CLASS_NEW_BENCHMARK",
+    "CLASS_SKIPPED",
+]

@@ -1,0 +1,215 @@
+"""Comparison side of the benchmark telemetry layer.
+
+Diffs a fresh set of ``BENCH_*.json`` records against a baseline set and
+classifies every metric using the direction and tolerance *declared at record
+time*:
+
+* ``better`` — improved beyond the noise band;
+* ``within_noise`` — inside the declared tolerance (either way);
+* ``regressed`` — degraded beyond the tolerance (the CI-failing class);
+* ``missing_metric`` / ``missing_benchmark`` — present in the baseline but
+  absent from the fresh run (a silently dropped measurement also fails CI:
+  a trajectory with holes cannot catch regressions);
+* ``new_metric`` / ``new_benchmark`` — present only in the fresh run;
+* ``skipped`` — environments not comparable (quick vs full scale).
+
+``tools/bench_compare.py`` is the CLI wrapper used by the CI
+``bench-trajectory`` job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.bench.recorder import (
+    DIRECTION_HIGHER,
+    DIRECTION_INFO,
+    DIRECTION_LOWER,
+    Metric,
+    load_record,
+)
+
+CLASS_BETTER = "better"
+CLASS_WITHIN_NOISE = "within_noise"
+CLASS_REGRESSED = "regressed"
+CLASS_MISSING_METRIC = "missing_metric"
+CLASS_NEW_METRIC = "new_metric"
+CLASS_MISSING_BENCHMARK = "missing_benchmark"
+CLASS_NEW_BENCHMARK = "new_benchmark"
+CLASS_SKIPPED = "skipped"
+
+#: Classes that make ``bench_compare`` exit 2: genuine degradations and
+#: silently vanished measurements.
+FAILING_CLASSES = (CLASS_REGRESSED, CLASS_MISSING_METRIC, CLASS_MISSING_BENCHMARK)
+
+
+@dataclass
+class MetricVerdict:
+    """Classification of one metric of one benchmark."""
+
+    benchmark: str
+    metric: str
+    verdict: str
+    baseline: Optional[float] = None
+    fresh: Optional[float] = None
+    unit: str = ""
+    detail: str = ""
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        """Relative change in percent, when both values exist."""
+        if self.baseline is None or self.fresh is None:
+            return None
+        if self.baseline == 0:
+            return None if self.fresh == 0 else float("inf")
+        return 100.0 * (self.fresh - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class BenchComparison:
+    """All verdicts of a baseline-vs-fresh comparison."""
+
+    verdicts: List[MetricVerdict] = field(default_factory=list)
+
+    def by_class(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for verdict in self.verdicts:
+            counts[verdict.verdict] = counts.get(verdict.verdict, 0) + 1
+        return counts
+
+    def failures(self) -> List[MetricVerdict]:
+        """The verdicts that should fail the gate."""
+        return [v for v in self.verdicts if v.verdict in FAILING_CLASSES]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+
+def classify_metric(baseline: Optional[Metric],
+                    fresh: Optional[Metric]) -> Tuple[str, str]:
+    """Classify one metric pair; returns ``(class, detail)``.
+
+    Direction and tolerances are taken from the *fresh* metric when present
+    (the declaration travels with the code that records it), falling back to
+    the baseline's for ``missing_metric`` bookkeeping.
+    """
+    if fresh is None and baseline is None:
+        raise ValueError("classify_metric needs at least one side")
+    if fresh is None:
+        return CLASS_MISSING_METRIC, "metric vanished from the fresh run"
+    if baseline is None:
+        return CLASS_NEW_METRIC, "no baseline yet"
+    if fresh.direction == DIRECTION_INFO:
+        return CLASS_WITHIN_NOISE, "informational"
+
+    band = fresh.tolerance * abs(baseline.value) + fresh.abs_tolerance
+    delta = fresh.value - baseline.value
+    if fresh.direction == DIRECTION_LOWER:
+        degraded, improved = delta > band, delta < -band
+    elif fresh.direction == DIRECTION_HIGHER:
+        degraded, improved = delta < -band, delta > band
+    else:  # pragma: no cover - Metric.__post_init__ rejects other values
+        raise ValueError(f"unknown direction {fresh.direction!r}")
+    if degraded:
+        return CLASS_REGRESSED, (
+            f"{baseline.value:g} -> {fresh.value:g} exceeds tolerance"
+            f" ({fresh.tolerance:.0%} + {fresh.abs_tolerance:g})"
+        )
+    if improved:
+        return CLASS_BETTER, f"{baseline.value:g} -> {fresh.value:g}"
+    return CLASS_WITHIN_NOISE, ""
+
+
+def compare_records(baseline: Dict[str, object],
+                    fresh: Dict[str, object]) -> List[MetricVerdict]:
+    """Compare two loaded ``BENCH_*.json`` payloads metric by metric."""
+    name = str(fresh.get("benchmark") or baseline.get("benchmark"))
+    baseline_env = baseline.get("environment", {})
+    fresh_env = fresh.get("environment", {})
+    if baseline_env.get("scale") != fresh_env.get("scale"):  # type: ignore[union-attr]
+        return [MetricVerdict(
+            benchmark=name, metric="*", verdict=CLASS_SKIPPED,
+            detail=(f"environment mismatch: baseline scale="
+                    f"{baseline_env.get('scale')!r}, fresh scale="  # type: ignore[union-attr]
+                    f"{fresh_env.get('scale')!r}"),  # type: ignore[union-attr]
+        )]
+
+    baseline_metrics = {n: Metric.from_dict(n, p)
+                        for n, p in baseline["metrics"].items()}  # type: ignore[union-attr]
+    fresh_metrics = {n: Metric.from_dict(n, p)
+                     for n, p in fresh["metrics"].items()}  # type: ignore[union-attr]
+    verdicts: List[MetricVerdict] = []
+    for metric_name in sorted(set(baseline_metrics) | set(fresh_metrics)):
+        b = baseline_metrics.get(metric_name)
+        f = fresh_metrics.get(metric_name)
+        verdict, detail = classify_metric(b, f)
+        source = f or b
+        verdicts.append(MetricVerdict(
+            benchmark=name, metric=metric_name, verdict=verdict,
+            baseline=None if b is None else b.value,
+            fresh=None if f is None else f.value,
+            unit=source.unit if source else "", detail=detail,
+        ))
+    return verdicts
+
+
+def compare_dirs(baseline_dir: Union[str, Path],
+                 fresh_dir: Union[str, Path]) -> BenchComparison:
+    """Compare every ``BENCH_*.json`` under two directories."""
+    baseline_dir, fresh_dir = Path(baseline_dir), Path(fresh_dir)
+    baseline_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
+    fresh_files = {p.name: p for p in sorted(fresh_dir.glob("BENCH_*.json"))}
+
+    comparison = BenchComparison()
+    for filename in sorted(set(baseline_files) | set(fresh_files)):
+        stem = filename[len("BENCH_"):-len(".json")]
+        if filename not in fresh_files:
+            comparison.verdicts.append(MetricVerdict(
+                benchmark=stem, metric="*", verdict=CLASS_MISSING_BENCHMARK,
+                detail=f"{filename} missing from the fresh run"))
+            continue
+        if filename not in baseline_files:
+            comparison.verdicts.append(MetricVerdict(
+                benchmark=stem, metric="*", verdict=CLASS_NEW_BENCHMARK,
+                detail=f"{filename} has no committed baseline yet"))
+            continue
+        comparison.verdicts.extend(compare_records(
+            load_record(baseline_files[filename]),
+            load_record(fresh_files[filename]),
+        ))
+    return comparison
+
+
+def markdown_report(comparison: BenchComparison) -> str:
+    """Render the comparison as a markdown summary table."""
+    lines = ["| benchmark | metric | baseline | fresh | Δ | verdict |",
+             "|---|---|---:|---:|---:|---|"]
+    marks = {CLASS_BETTER: "✅ better", CLASS_WITHIN_NOISE: "· within noise",
+             CLASS_REGRESSED: "❌ REGRESSED", CLASS_MISSING_METRIC: "❌ missing",
+             CLASS_MISSING_BENCHMARK: "❌ missing benchmark",
+             CLASS_NEW_METRIC: "🆕 new", CLASS_NEW_BENCHMARK: "🆕 new benchmark",
+             CLASS_SKIPPED: "⏭ skipped"}
+
+    def fmt(value: Optional[float], unit: str) -> str:
+        if value is None:
+            return "—"
+        text = f"{value:,.4g}"
+        return f"{text} {unit}".strip()
+
+    for v in comparison.verdicts:
+        delta = v.delta_pct
+        delta_text = "—" if delta is None else f"{delta:+.1f}%"
+        verdict_text = marks.get(v.verdict, v.verdict)
+        if v.detail and v.verdict in (*FAILING_CLASSES, CLASS_SKIPPED):
+            verdict_text += f" — {v.detail}"
+        lines.append(f"| {v.benchmark} | {v.metric} | {fmt(v.baseline, v.unit)}"
+                     f" | {fmt(v.fresh, v.unit)} | {delta_text} | {verdict_text} |")
+
+    counts = comparison.by_class()
+    summary = ", ".join(f"{counts[c]} {c}" for c in sorted(counts))
+    lines.append("")
+    lines.append(f"**{len(comparison.verdicts)} metrics: {summary or 'none'}.**")
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Recording side of the benchmark telemetry layer.
+
+A :class:`BenchRecorder` collects named metrics — each with a unit, an
+optimisation *direction* and a noise *tolerance* declared at record time —
+plus environment tags (quick vs full scale, python version, cpu count), and
+writes them atomically as a schema-versioned ``BENCH_<name>.json``.  The
+committed JSONs are the repo's perf trajectory; :mod:`repro.bench.compare`
+classifies a fresh run against them.
+
+Durations MUST be wall-clock.  Use :meth:`BenchRecorder.time` (a
+``perf_counter`` stopwatch) or record an explicitly wall-clock measurement;
+never sum per-task ``solve_seconds`` that may overlap under a worker pool
+(the double-count bug class ``HydraResult.lp_wall_seconds`` exists to avoid).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+from contextlib import contextmanager
+
+#: Bump when the JSON layout changes shape incompatibly.  ``compare`` refuses
+#: to diff records with mismatched schema versions.
+SCHEMA_VERSION = 1
+
+#: Smaller is better (timings, memory, summary bytes, extra tuples).
+DIRECTION_LOWER = "lower"
+#: Larger is better (throughput, cache hit rates, fidelity fractions).
+DIRECTION_HIGHER = "higher"
+#: Tracked for the trajectory but never classified as a regression
+#: (environment-derived counts, baselines of the *other* system, ...).
+DIRECTION_INFO = "info"
+
+DIRECTIONS = (DIRECTION_LOWER, DIRECTION_HIGHER, DIRECTION_INFO)
+
+#: Default relative noise band for timing metrics: shared CI runners are
+#: noisy, so a duration only regresses beyond +50% and an absolute floor.
+TIME_REL_TOLERANCE = 0.50
+TIME_ABS_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One recorded measurement plus its comparison contract.
+
+    ``tolerance`` is the relative noise band (fraction of the baseline
+    value); ``abs_tolerance`` is an absolute slack added on top, which keeps
+    near-zero baselines (sub-second timings) from regressing on timer noise.
+    """
+
+    name: str
+    value: float
+    unit: str = ""
+    direction: str = DIRECTION_LOWER
+    tolerance: float = 0.0
+    abs_tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"metric {self.name!r}: direction must be one of {DIRECTIONS},"
+                f" got {self.direction!r}"
+            )
+        if self.tolerance < 0 or self.abs_tolerance < 0:
+            raise ValueError(f"metric {self.name!r}: tolerances must be >= 0")
+        if not isinstance(self.value, (int, float)) or isinstance(self.value, bool):
+            raise ValueError(f"metric {self.name!r}: value must be a number,"
+                             f" got {type(self.value).__name__}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "value": float(self.value),
+            "unit": self.unit,
+            "direction": self.direction,
+            "tolerance": float(self.tolerance),
+            "abs_tolerance": float(self.abs_tolerance),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: Mapping[str, object]) -> "Metric":
+        return cls(
+            name=name,
+            value=float(payload["value"]),  # type: ignore[arg-type]
+            unit=str(payload.get("unit", "")),
+            direction=str(payload.get("direction", DIRECTION_LOWER)),
+            tolerance=float(payload.get("tolerance", 0.0)),  # type: ignore[arg-type]
+            abs_tolerance=float(payload.get("abs_tolerance", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+def environment_tags(quick: bool) -> Dict[str, object]:
+    """Tags describing the run environment.
+
+    ``scale`` is the only tag that gates comparison (quick-mode numbers are
+    never compared against full-scale baselines); the rest are provenance.
+    """
+    return {
+        "scale": "quick" if quick else "full",
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.system().lower(),
+    }
+
+
+def record_filename(name: str) -> str:
+    """``BENCH_<name>.json`` for a benchmark called ``name``."""
+    return f"BENCH_{name}.json"
+
+
+class BenchRecorder:
+    """Collects one benchmark file's metrics and persists them atomically.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name, by convention the ``bench_*.py`` stem without the
+        ``bench_`` prefix (``fig11_extra_tuples`` → ``BENCH_fig11_extra_tuples.json``).
+    quick:
+        Whether this run used the shrunken quick-mode environment.
+    """
+
+    def __init__(self, name: str, quick: bool = False) -> None:
+        if not name:
+            raise ValueError("benchmark name must be non-empty")
+        self.name = name
+        self.quick = quick
+        self.metrics: Dict[str, Metric] = {}
+
+    def record(self, name: str, value: Union[int, float], *, unit: str = "",
+               direction: str = DIRECTION_LOWER, tolerance: float = 0.0,
+               abs_tolerance: float = 0.0) -> Metric:
+        """Record a metric; re-recording the same name overwrites it."""
+        metric = Metric(name=name, value=float(value), unit=unit,
+                        direction=direction, tolerance=tolerance,
+                        abs_tolerance=abs_tolerance)
+        self.metrics[name] = metric
+        return metric
+
+    @contextmanager
+    def time(self, name: str, *, tolerance: float = TIME_REL_TOLERANCE,
+             abs_tolerance: float = TIME_ABS_TOLERANCE) -> Iterator[None]:
+        """Record the enclosed block's *wall-clock* duration in seconds.
+
+        This is the harness's one true stopwatch: ``perf_counter`` around the
+        block, so concurrent per-task timings can never double-count.
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - started, unit="s",
+                        direction=DIRECTION_LOWER, tolerance=tolerance,
+                        abs_tolerance=abs_tolerance)
+
+    def record_seconds(self, name: str, seconds: float, *,
+                       tolerance: float = TIME_REL_TOLERANCE,
+                       abs_tolerance: float = TIME_ABS_TOLERANCE) -> Metric:
+        """Record an externally measured *wall-clock* duration.
+
+        Only pass durations measured by a single stopwatch around the whole
+        phase (``Timer``, ``total_seconds``, ``lp_wall_seconds``...), never a
+        sum of per-task timings that may overlap under a worker pool.
+        """
+        return self.record(name, seconds, unit="s", direction=DIRECTION_LOWER,
+                           tolerance=tolerance, abs_tolerance=abs_tolerance)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The full record in its on-disk (schema-versioned) shape."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": self.name,
+            "environment": environment_tags(self.quick),
+            "metrics": {name: metric.to_dict()
+                        for name, metric in sorted(self.metrics.items())},
+        }
+
+    def write(self, directory: Union[str, Path]) -> Path:
+        """Atomically write ``BENCH_<name>.json`` into ``directory``.
+
+        The payload goes to a temp file in the same directory first and is
+        moved into place with ``os.replace``, so a crash mid-write can never
+        leave a torn JSON at the target path.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / record_filename(self.name)
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(dir=str(directory),
+                                        prefix=target.name + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+
+def load_record(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate a ``BENCH_*.json`` record.
+
+    Raises ``ValueError`` on a malformed record (bad JSON, wrong schema
+    version, missing fields) — a torn or hand-edited baseline should fail
+    loudly, not silently pass the comparison.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"{path}: schema_version {version!r} !="
+                         f" supported {SCHEMA_VERSION}")
+    for field in ("benchmark", "environment", "metrics"):
+        if field not in payload:
+            raise ValueError(f"{path}: missing field {field!r}")
+    metrics = payload["metrics"]
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: 'metrics' must be an object")
+    for name, entry in metrics.items():
+        Metric.from_dict(name, entry)  # validates
+    return payload

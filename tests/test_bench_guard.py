@@ -1,0 +1,38 @@
+"""Tier-1 benchmark-coverage drift check.
+
+Runs the same guard as the CI ``bench-trajectory`` job
+(``tools/check_bench.py``): every ``benchmarks/bench_*.py`` must route its
+measurements through the ``bench`` fixture and keep a valid, quick-scale
+``BENCH_*.json`` baseline committed next to it, with no orphan baselines —
+so the perf trajectory cannot silently grow holes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "tools" / "check_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_benchmark_is_tracked():
+    checker = _load_checker()
+    assert checker.check() == []
+
+
+def test_docs_point_at_the_trajectory():
+    """README and the benchmarks doc reference the gate and each other."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/BENCHMARKS.md" in readme
+    benchmarks_doc = (REPO_ROOT / "docs" / "BENCHMARKS.md").read_text()
+    assert "bench_compare.py" in benchmarks_doc
+    assert "BENCH_QUICK" in benchmarks_doc

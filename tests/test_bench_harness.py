@@ -1,0 +1,257 @@
+"""Tests of the benchmark telemetry layer (``repro.bench``).
+
+Covers the harness contract the perf-trajectory gate relies on:
+
+* schema round-trip: a recorded ``BENCH_*.json`` loads back with every
+  metric's value, unit, direction and tolerances intact;
+* atomic persistence: a crash mid-write can never leave a torn JSON at the
+  target path, and torn/malformed records fail ``load_record`` loudly;
+* classification: better / within-noise / regressed / missing-metric /
+  new-metric verdicts honour the direction and tolerance declared at record
+  time, and quick-vs-full environments are never compared;
+* the ``tools/bench_compare.py`` gate: exit 0 against an identical run,
+  exit 2 when a timing metric degrades beyond its declared tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    CLASS_BETTER,
+    CLASS_MISSING_BENCHMARK,
+    CLASS_MISSING_METRIC,
+    CLASS_NEW_BENCHMARK,
+    CLASS_NEW_METRIC,
+    CLASS_REGRESSED,
+    CLASS_SKIPPED,
+    CLASS_WITHIN_NOISE,
+    BenchRecorder,
+    Metric,
+    classify_metric,
+    compare_dirs,
+    compare_records,
+    load_record,
+    markdown_report,
+    record_filename,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_recorder(quick: bool = True) -> BenchRecorder:
+    recorder = BenchRecorder("demo", quick=quick)
+    recorder.record_seconds("build_seconds", 1.5)
+    recorder.record("tuples_per_second", 5000.0, unit="tuples/s",
+                    direction="higher", tolerance=0.5, abs_tolerance=1000.0)
+    recorder.record("region_variables", 1620, unit="vars", direction="lower")
+    recorder.record("cc_count", 523, unit="constraints", direction="info")
+    return recorder
+
+
+class TestSchemaRoundTrip:
+    def test_write_then_load_preserves_everything(self, tmp_path):
+        recorder = make_recorder(quick=True)
+        target = recorder.write(tmp_path)
+        assert target == tmp_path / record_filename("demo")
+
+        payload = load_record(target)
+        assert payload["schema_version"] == 1
+        assert payload["benchmark"] == "demo"
+        assert payload["environment"]["scale"] == "quick"
+        assert set(payload["environment"]) >= {"scale", "python", "cpu_count"}
+        metrics = {name: Metric.from_dict(name, entry)
+                   for name, entry in payload["metrics"].items()}
+        assert metrics == recorder.metrics
+
+    def test_full_scale_tag(self, tmp_path):
+        recorder = make_recorder(quick=False)
+        payload = load_record(recorder.write(tmp_path))
+        assert payload["environment"]["scale"] == "full"
+
+    def test_time_contextmanager_records_wall_clock(self):
+        recorder = BenchRecorder("demo")
+        with recorder.time("span_seconds"):
+            pass
+        metric = recorder.metrics["span_seconds"]
+        assert metric.unit == "s"
+        assert metric.direction == "lower"
+        assert 0.0 <= metric.value < 1.0
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            Metric(name="bad", value=1.0, direction="sideways")
+        with pytest.raises(ValueError):
+            Metric(name="bad", value=1.0, tolerance=-0.1)
+        with pytest.raises(ValueError):
+            Metric(name="bad", value=True)
+        with pytest.raises((TypeError, ValueError)):
+            BenchRecorder("demo").record("bad", "fast")  # type: ignore[arg-type]
+
+
+class TestAtomicWrite:
+    def test_failed_replace_leaves_previous_record_intact(self, tmp_path, monkeypatch):
+        recorder = make_recorder()
+        target = recorder.write(tmp_path)
+        before = target.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        recorder.record("build_seconds", 99.0)
+        with pytest.raises(OSError):
+            recorder.write(tmp_path)
+        monkeypatch.undo()
+
+        # The committed record is byte-identical and no temp litter remains.
+        assert target.read_text() == before
+        assert list(tmp_path.iterdir()) == [target]
+        load_record(target)
+
+    def test_torn_json_fails_loudly(self, tmp_path):
+        recorder = make_recorder()
+        target = recorder.write(tmp_path)
+        target.write_text(target.read_text()[: 40])  # simulate a torn write
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_record(target)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        recorder = make_recorder()
+        target = recorder.write(tmp_path)
+        payload = json.loads(target.read_text())
+        payload["schema_version"] = 99
+        target.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_record(target)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema_version": 1, "benchmark": "x"}))
+        with pytest.raises(ValueError, match="missing field"):
+            load_record(path)
+
+
+class TestClassification:
+    def lower(self, value, tolerance=0.10, abs_tolerance=0.0):
+        return Metric(name="m", value=value, direction="lower",
+                      tolerance=tolerance, abs_tolerance=abs_tolerance)
+
+    def higher(self, value, tolerance=0.10):
+        return Metric(name="m", value=value, direction="higher",
+                      tolerance=tolerance)
+
+    def test_lower_direction(self):
+        baseline = self.lower(10.0)
+        assert classify_metric(baseline, self.lower(10.5))[0] == CLASS_WITHIN_NOISE
+        assert classify_metric(baseline, self.lower(12.0))[0] == CLASS_REGRESSED
+        assert classify_metric(baseline, self.lower(8.0))[0] == CLASS_BETTER
+
+    def test_higher_direction(self):
+        baseline = self.higher(10.0)
+        assert classify_metric(baseline, self.higher(9.5))[0] == CLASS_WITHIN_NOISE
+        assert classify_metric(baseline, self.higher(8.0))[0] == CLASS_REGRESSED
+        assert classify_metric(baseline, self.higher(12.0))[0] == CLASS_BETTER
+
+    def test_abs_tolerance_shields_near_zero_baselines(self):
+        # 0.1s -> 0.3s is a 3x relative jump but inside the absolute band
+        # that keeps sub-second timings from regressing on timer noise.
+        baseline = self.lower(0.1, tolerance=0.5, abs_tolerance=0.25)
+        assert classify_metric(
+            baseline, self.lower(0.3, tolerance=0.5, abs_tolerance=0.25)
+        )[0] == CLASS_WITHIN_NOISE
+        assert classify_metric(
+            baseline, self.lower(0.5, tolerance=0.5, abs_tolerance=0.25)
+        )[0] == CLASS_REGRESSED
+
+    def test_info_metrics_never_regress(self):
+        baseline = Metric(name="m", value=10.0, direction="info")
+        fresh = Metric(name="m", value=1000.0, direction="info")
+        assert classify_metric(baseline, fresh)[0] == CLASS_WITHIN_NOISE
+
+    def test_missing_and_new_metric(self):
+        metric = self.lower(1.0)
+        assert classify_metric(metric, None)[0] == CLASS_MISSING_METRIC
+        assert classify_metric(None, metric)[0] == CLASS_NEW_METRIC
+        with pytest.raises(ValueError):
+            classify_metric(None, None)
+
+    def test_zero_tolerance_is_exact(self):
+        baseline = self.lower(1620, tolerance=0.0)
+        assert classify_metric(baseline, self.lower(1620, tolerance=0.0))[0] \
+            == CLASS_WITHIN_NOISE
+        assert classify_metric(baseline, self.lower(1621, tolerance=0.0))[0] \
+            == CLASS_REGRESSED
+
+    def test_scale_mismatch_skips_comparison(self):
+        quick = make_recorder(quick=True).to_dict()
+        full = make_recorder(quick=False).to_dict()
+        verdicts = compare_records(full, quick)
+        assert [v.verdict for v in verdicts] == [CLASS_SKIPPED]
+        assert "scale" in verdicts[0].detail
+
+    def test_compare_dirs_missing_and_new_benchmarks(self, tmp_path):
+        baseline_dir, fresh_dir = tmp_path / "a", tmp_path / "b"
+        make_recorder().write(baseline_dir)
+        other = BenchRecorder("other", quick=True)
+        other.record("x", 1.0)
+        other.write(fresh_dir)
+
+        comparison = compare_dirs(baseline_dir, fresh_dir)
+        verdicts = {v.benchmark: v.verdict for v in comparison.verdicts}
+        assert verdicts["demo"] == CLASS_MISSING_BENCHMARK
+        assert verdicts["other"] == CLASS_NEW_BENCHMARK
+        assert not comparison.ok  # a vanished benchmark fails the gate
+
+    def test_identical_dirs_are_ok(self, tmp_path):
+        baseline_dir, fresh_dir = tmp_path / "a", tmp_path / "b"
+        make_recorder().write(baseline_dir)
+        make_recorder().write(fresh_dir)
+        comparison = compare_dirs(baseline_dir, fresh_dir)
+        assert comparison.ok
+        assert set(comparison.by_class()) == {CLASS_WITHIN_NOISE}
+        report = markdown_report(comparison)
+        assert "| demo |" in report
+        assert "REGRESSED" not in report
+
+
+class TestBenchCompareCli:
+    """Subprocess tests of the actual CI gate."""
+
+    def run_gate(self, baseline_dir, fresh_dir):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "bench_compare.py"),
+             "--baseline", str(baseline_dir), "--fresh", str(fresh_dir)],
+            capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+
+    def test_identical_run_exits_zero(self, tmp_path):
+        baseline_dir, fresh_dir = tmp_path / "a", tmp_path / "b"
+        make_recorder().write(baseline_dir)
+        make_recorder().write(fresh_dir)
+        result = self.run_gate(baseline_dir, fresh_dir)
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_slowed_metric_exits_two(self, tmp_path):
+        baseline_dir, fresh_dir = tmp_path / "a", tmp_path / "b"
+        make_recorder().write(baseline_dir)
+        slowed = make_recorder()
+        # 1.5s -> 9s: far beyond the 50% + 0.25s band declared at record time.
+        slowed.record_seconds("build_seconds", 9.0)
+        slowed.write(fresh_dir)
+
+        result = self.run_gate(baseline_dir, fresh_dir)
+        assert result.returncode == 2, result.stdout + result.stderr
+        assert "REGRESSED" in result.stdout
+        assert "build_seconds" in result.stdout
+
+    def test_broken_comparison_exits_one(self, tmp_path):
+        result = self.run_gate(tmp_path / "missing_a", tmp_path / "missing_b")
+        assert result.returncode == 1

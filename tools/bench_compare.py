@@ -1,0 +1,78 @@
+"""Perf-trajectory gate: diff fresh ``BENCH_*.json`` records against baselines.
+
+Classifies every metric as better / within-noise / regressed (plus
+missing/new bookkeeping) using the per-metric direction and tolerance
+declared at record time, prints a markdown summary table, and exits:
+
+* ``0`` — no metric regressed;
+* ``2`` — at least one metric regressed or silently vanished;
+* ``1`` — the comparison itself could not run (bad paths, torn JSON).
+
+Usage::
+
+    python tools/bench_compare.py                # fresh == baseline dir (no-op diff)
+    python tools/bench_compare.py --fresh /tmp/bench-fresh
+    python tools/bench_compare.py --baseline benchmarks --fresh /tmp/bench-fresh
+
+Run by the CI ``bench-trajectory`` job after the quick-mode benchmark suite;
+see ``docs/BENCHMARKS.md`` for the baseline-refresh workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import CLASS_SKIPPED, compare_dirs, markdown_report  # noqa: E402
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "benchmarks"),
+                        help="directory holding the committed baseline JSONs"
+                             " (default: benchmarks/)")
+    parser.add_argument("--fresh", default=None,
+                        help="directory holding the fresh run's JSONs"
+                             " (default: same as --baseline, a no-op diff)")
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline)
+    fresh_dir = Path(args.fresh) if args.fresh else baseline_dir
+    if not baseline_dir.is_dir():
+        print(f"bench compare: baseline dir {baseline_dir} missing", file=sys.stderr)
+        return 1
+    if not fresh_dir.is_dir():
+        print(f"bench compare: fresh dir {fresh_dir} missing", file=sys.stderr)
+        return 1
+
+    try:
+        comparison = compare_dirs(baseline_dir, fresh_dir)
+    except ValueError as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 1
+    if not comparison.verdicts:
+        print(f"bench compare: no BENCH_*.json under {baseline_dir} or {fresh_dir}",
+              file=sys.stderr)
+        return 1
+
+    print(markdown_report(comparison))
+    skipped = [v for v in comparison.verdicts if v.verdict == CLASS_SKIPPED]
+    for verdict in skipped:
+        print(f"bench compare: WARNING {verdict.benchmark}: {verdict.detail}",
+              file=sys.stderr)
+    failures = comparison.failures()
+    if failures:
+        for verdict in failures:
+            print(f"bench compare: FAIL {verdict.benchmark}.{verdict.metric}:"
+                  f" {verdict.verdict} ({verdict.detail})", file=sys.stderr)
+        return 2
+    print("bench compare: trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,94 @@
+"""Benchmark-coverage guard: no silently untracked benchmark.
+
+Checks, for every ``benchmarks/bench_*.py``:
+
+* a committed ``BENCH_<name>.json`` baseline exists next to it,
+* the baseline parses, carries the supported schema version, names the
+  matching benchmark, and records at least one metric,
+* the baseline was recorded at quick scale (the committed trajectory is the
+  quick-mode one CI reproduces; a full-scale baseline would make every CI
+  comparison silently skip on the environment mismatch),
+* the benchmark file routes its measurements through the harness (it
+  requests the ``bench`` fixture),
+
+and, conversely, that no orphan ``BENCH_*.json`` outlives a deleted
+benchmark.  Run by the CI ``bench-trajectory`` job and tier-1 tests.
+
+Usage::
+
+    python tools/check_bench.py     # exit 0 when clean, 1 on any violation
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import load_record, record_filename  # noqa: E402
+
+#: A benchmark uses the harness when some test requests the ``bench`` fixture.
+_FIXTURE_RE = re.compile(r"^def test_\w+\([^)]*\bbench\b", re.MULTILINE)
+
+
+def check() -> List[str]:
+    """Return one error per coverage violation."""
+    errors: List[str] = []
+    bench_files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if not bench_files:
+        return [f"no bench_*.py found under {BENCH_DIR}"]
+
+    expected_jsons = set()
+    for bench_file in bench_files:
+        name = bench_file.stem[len("bench_"):]
+        json_path = BENCH_DIR / record_filename(name)
+        expected_jsons.add(json_path.name)
+
+        if not _FIXTURE_RE.search(bench_file.read_text(encoding="utf-8")):
+            errors.append(f"{bench_file.name}: no test requests the 'bench'"
+                          " fixture — measurements are not recorded")
+        if not json_path.exists():
+            errors.append(f"{bench_file.name}: baseline {json_path.name} missing"
+                          " — run the quick suite and commit it")
+            continue
+        try:
+            payload = load_record(json_path)
+        except ValueError as exc:
+            errors.append(f"{json_path.name}: invalid record ({exc})")
+            continue
+        if payload["benchmark"] != name:
+            errors.append(f"{json_path.name}: names benchmark"
+                          f" {payload['benchmark']!r}, expected {name!r}")
+        if not payload["metrics"]:
+            errors.append(f"{json_path.name}: records no metrics")
+        scale = payload["environment"].get("scale")
+        if scale != "quick":
+            errors.append(f"{json_path.name}: baseline scale is {scale!r}, not"
+                          " 'quick' — CI compares quick runs, so this baseline"
+                          " would always be skipped")
+
+    for json_path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        if json_path.name not in expected_jsons:
+            errors.append(f"{json_path.name}: orphan baseline — no matching"
+                          " bench_*.py")
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for error in errors:
+        print(f"bench check: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    count = len(list(BENCH_DIR.glob("bench_*.py")))
+    print(f"bench check: {count} benchmarks all emit tracked BENCH_*.json records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
