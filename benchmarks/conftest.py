@@ -10,6 +10,7 @@ The printed output of each benchmark is the reproduced table/series.
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
 
 import pytest
@@ -40,17 +41,23 @@ def bench(request):
 
     Module-scoped: every test in ``bench_<name>.py`` records into the same
     :class:`~repro.bench.BenchRecorder`, and at module teardown the collected
-    metrics are written atomically as ``BENCH_<name>.json`` next to the
-    benchmark (override the directory with ``BENCH_OUTPUT_DIR``, as the CI
-    gate does to avoid clobbering the committed baselines).  Durations must
-    be wall-clock — use ``bench.time(...)``/``bench.record_seconds(...)``.
+    metrics are written atomically as ``BENCH_<name>.json`` into
+    ``BENCH_OUTPUT_DIR`` — defaulting to an *out-of-tree* directory under the
+    system temp dir, so an ad-hoc run (especially a full-scale one) can never
+    silently overwrite the committed quick-mode baselines.  Deliberate
+    baseline refreshes opt in with ``BENCH_OUTPUT_DIR=benchmarks``.
+    Durations must be wall-clock — use
+    ``bench.time(...)``/``bench.record_seconds(...)``.
     """
     module_path = Path(str(request.fspath))
     recorder = BenchRecorder(module_path.stem.removeprefix("bench_"), quick=QUICK)
     yield recorder
     if recorder.metrics:
-        output_dir = os.environ.get("BENCH_OUTPUT_DIR") or module_path.parent
-        recorder.write(output_dir)
+        output_dir = os.environ.get("BENCH_OUTPUT_DIR") or (
+            Path(tempfile.gettempdir()) / "repro-bench"
+        )
+        target = recorder.write(output_dir)
+        print(f"\n[bench] telemetry written to {target}")
 
 
 @pytest.fixture(scope="session")

@@ -231,6 +231,10 @@ def load_record(path: Union[str, Path]) -> Dict[str, object]:
     for field in ("benchmark", "environment", "metrics"):
         if field not in payload:
             raise ValueError(f"{path}: missing field {field!r}")
+    if not isinstance(payload["benchmark"], str):
+        raise ValueError(f"{path}: 'benchmark' must be a string")
+    if not isinstance(payload["environment"], dict):
+        raise ValueError(f"{path}: 'environment' must be an object")
     metrics = payload["metrics"]
     if not isinstance(metrics, dict):
         raise ValueError(f"{path}: 'metrics' must be an object")

@@ -137,6 +137,24 @@ class TestAtomicWrite:
         with pytest.raises(ValueError, match="missing field"):
             load_record(path)
 
+    def test_wrongly_typed_fields_rejected(self, tmp_path):
+        # A present-but-mistyped 'environment'/'benchmark' must take the
+        # ValueError -> exit-1 "invalid record" path, not crash the
+        # comparison with an AttributeError later on.
+        recorder = make_recorder()
+        target = recorder.write(tmp_path)
+        good = json.loads(target.read_text())
+
+        bad = dict(good, environment=["quick"])
+        target.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match="'environment' must be an object"):
+            load_record(target)
+
+        bad = dict(good, benchmark=7)
+        target.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match="'benchmark' must be a string"):
+            load_record(target)
+
 
 class TestClassification:
     def lower(self, value, tolerance=0.10, abs_tolerance=0.0):
@@ -224,11 +242,13 @@ class TestClassification:
 class TestBenchCompareCli:
     """Subprocess tests of the actual CI gate."""
 
-    def run_gate(self, baseline_dir, fresh_dir):
+    def run_gate(self, baseline_dir, fresh_dir=None):
+        argv = [sys.executable, str(REPO_ROOT / "tools" / "bench_compare.py"),
+                "--baseline", str(baseline_dir)]
+        if fresh_dir is not None:
+            argv += ["--fresh", str(fresh_dir)]
         return subprocess.run(
-            [sys.executable, str(REPO_ROOT / "tools" / "bench_compare.py"),
-             "--baseline", str(baseline_dir), "--fresh", str(fresh_dir)],
-            capture_output=True, text=True,
+            argv, capture_output=True, text=True,
             env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
         )
 
@@ -255,3 +275,17 @@ class TestBenchCompareCli:
     def test_broken_comparison_exits_one(self, tmp_path):
         result = self.run_gate(tmp_path / "missing_a", tmp_path / "missing_b")
         assert result.returncode == 1
+
+    def test_missing_fresh_flag_exits_one(self, tmp_path):
+        # A bare invocation used to self-compare the baselines (guaranteed
+        # pass); it must refuse instead of pretending a regression check ran.
+        make_recorder().write(tmp_path)
+        result = self.run_gate(tmp_path)
+        assert result.returncode == 1
+        assert "--fresh is required" in result.stderr
+
+    def test_self_comparison_warns(self, tmp_path):
+        make_recorder().write(tmp_path)
+        result = self.run_gate(tmp_path, tmp_path)
+        assert result.returncode == 0
+        assert "self-comparison always passes" in result.stderr

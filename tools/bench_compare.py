@@ -10,9 +10,12 @@ declared at record time, prints a markdown summary table, and exits:
 
 Usage::
 
-    python tools/bench_compare.py                # fresh == baseline dir (no-op diff)
     python tools/bench_compare.py --fresh /tmp/bench-fresh
     python tools/bench_compare.py --baseline benchmarks --fresh /tmp/bench-fresh
+
+``--fresh`` is mandatory: comparing the baseline directory against itself is
+a guaranteed-pass no-op, so an omitted flag exits 1 instead of pretending a
+regression check ran.
 
 Run by the CI ``bench-trajectory`` job after the quick-mode benchmark suite;
 see ``docs/BENCHMARKS.md`` for the baseline-refresh workflow.
@@ -36,18 +39,29 @@ def main(argv: list) -> int:
                         help="directory holding the committed baseline JSONs"
                              " (default: benchmarks/)")
     parser.add_argument("--fresh", default=None,
-                        help="directory holding the fresh run's JSONs"
-                             " (default: same as --baseline, a no-op diff)")
+                        help="directory holding the fresh run's JSONs (required)")
     args = parser.parse_args(argv)
 
+    if not args.fresh:
+        print("bench compare: --fresh is required — diffing the baseline"
+              " directory against itself is a guaranteed-pass no-op."
+              " Record a fresh run first, e.g. BENCH_QUICK=1"
+              " BENCH_OUTPUT_DIR=/tmp/bench-fresh pytest benchmarks/bench_*.py"
+              " --benchmark-disable, then pass --fresh /tmp/bench-fresh.",
+              file=sys.stderr)
+        return 1
     baseline_dir = Path(args.baseline)
-    fresh_dir = Path(args.fresh) if args.fresh else baseline_dir
+    fresh_dir = Path(args.fresh)
     if not baseline_dir.is_dir():
         print(f"bench compare: baseline dir {baseline_dir} missing", file=sys.stderr)
         return 1
     if not fresh_dir.is_dir():
         print(f"bench compare: fresh dir {fresh_dir} missing", file=sys.stderr)
         return 1
+    if fresh_dir.resolve() == baseline_dir.resolve():
+        print("bench compare: WARNING --fresh is the --baseline directory;"
+              " a self-comparison always passes and verifies nothing",
+              file=sys.stderr)
 
     try:
         comparison = compare_dirs(baseline_dir, fresh_dir)
