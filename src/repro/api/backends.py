@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
 from repro.api.config import RegenConfig
 from repro.constraints.workload import ConstraintSet
 from repro.errors import UnknownBackendError
+from repro.obs.trace import span as trace_span
 from repro.schema.schema import Schema
 from repro.summary.relation_summary import DatabaseSummary
 
@@ -122,17 +123,21 @@ class HydraBackend(PipelineBackend):
 
     def build(self, constraints: ConstraintSet,
               relations: Optional[Sequence[str]] = None) -> BackendBuild:
-        result = self.pipeline.build_summary(constraints, relations)
-        return BackendBuild(
-            summary=result.summary,
-            diagnostics={
-                "total_seconds": result.total_seconds,
-                "lp_wall_seconds": result.lp_wall_seconds,
-                "solver_stats": dict(result.solver_stats),
-                "view_reports": result.view_reports,
-            },
-            from_store=bool(result.solver_stats.get("summary_store_hits", 0)),
-        )
+        with trace_span("backend.build", engine=self.name,
+                        constraints=len(constraints)) as span:
+            result = self.pipeline.build_summary(constraints, relations)
+            build = BackendBuild(
+                summary=result.summary,
+                diagnostics={
+                    "total_seconds": result.total_seconds,
+                    "lp_wall_seconds": result.lp_wall_seconds,
+                    "solver_stats": dict(result.solver_stats),
+                    "view_reports": result.view_reports,
+                },
+                from_store=bool(result.solver_stats.get("summary_store_hits", 0)),
+            )
+            span.set_attribute("from_store", build.from_store)
+        return build
 
 
 class DataSynthBackend(PipelineBackend):
@@ -167,6 +172,14 @@ class DataSynthBackend(PipelineBackend):
 
     def build(self, constraints: ConstraintSet,
               relations: Optional[Sequence[str]] = None) -> BackendBuild:
+        with trace_span("backend.build", engine=self.name,
+                        constraints=len(constraints)) as span:
+            build = self._build(constraints, relations)
+            span.set_attribute("from_store", build.from_store)
+        return build
+
+    def _build(self, constraints: ConstraintSet,
+               relations: Optional[Sequence[str]] = None) -> BackendBuild:
         from repro.summary.relation_summary import summary_from_database
 
         if self.store is not None:

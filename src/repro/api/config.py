@@ -69,6 +69,16 @@ class RegenConfig:
     Store lifecycle knobs (also never fingerprinted — they bound the store,
     not the artefacts): ``max_store_bytes``, ``max_entries``,
     ``ttl_seconds``, ``gc_interval``.
+
+    Observability knobs (never fingerprinted — they change what is
+    *recorded*, not what is produced): ``obs_enabled`` switches the
+    :mod:`repro.obs` metrics registry the service/store instrument through
+    (``False`` turns every update into a no-op and ``stats()`` reports
+    zeros); ``trace_sample`` is the root-sampling rate of request tracing
+    (``0.0`` disables it); ``log_format`` picks the ``"text"`` or ``"json"``
+    handler the service attaches to the ``repro.*`` loggers (``json`` only —
+    plain text stays opt-in via
+    :func:`repro.obs.configure_logging`).
     """
 
     engine: str = "hydra"
@@ -97,6 +107,10 @@ class RegenConfig:
     max_entries: Optional[int] = None
     ttl_seconds: Optional[float] = None
     gc_interval: Optional[float] = None
+    # -- observability knobs ------------------------------------------- #
+    obs_enabled: bool = True
+    trace_sample: float = 0.0
+    log_format: str = "text"
 
     def __post_init__(self) -> None:
         if self.strategy not in (STRATEGY_REGION, STRATEGY_GRID):
@@ -123,6 +137,15 @@ class RegenConfig:
                 raise ConfigError(f"{knob} must be non-negative (or None)")
         if self.gc_interval is not None and self.gc_interval <= 0:
             raise ConfigError("gc_interval must be positive (or None)")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ConfigError("trace_sample must be within [0, 1]")
+        from repro.obs.logging import LOG_FORMATS
+
+        if self.log_format not in LOG_FORMATS:
+            raise ConfigError(
+                f"unknown log_format {self.log_format!r};"
+                f" expected one of {LOG_FORMATS}"
+            )
 
     # ------------------------------------------------------------------ #
     # derivation of the per-engine configs

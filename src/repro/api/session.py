@@ -151,6 +151,18 @@ class Session:
                  store: Union["SummaryStore", str, Path, None] = None) -> None:
         self.schema = schema
         self.config = config or RegenConfig()
+        # Observability knobs apply to standalone sessions exactly as they
+        # do to `serve()`: one registry per session, opt-in trace sampling,
+        # opt-in JSON log handler.
+        from repro.obs.logging import configure_logging
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import get_tracer
+
+        self.registry = MetricsRegistry(enabled=self.config.obs_enabled)
+        if self.config.trace_sample > 0.0:
+            get_tracer().configure(sample=self.config.trace_sample)
+        if self.config.log_format == "json":
+            configure_logging(log_format="json")
         if store is not None and not hasattr(store, "get_summary"):
             from repro.service.store import SummaryStore
 
@@ -161,6 +173,7 @@ class Session:
                 max_store_bytes=self.config.max_store_bytes,
                 max_entries=self.config.max_entries,
                 ttl_seconds=self.config.ttl_seconds,
+                registry=self.registry,
             )
         self.store = store
         self._backends: Dict[str, PipelineBackend] = {}
@@ -315,5 +328,13 @@ class Session:
         backend = self._backends.get(name)
         if backend is None:
             backend = create_backend(name, self.schema, self.config, self.store)
+            # Re-home the engine's solver telemetry onto the session registry
+            # so one export covers store + solver (the service does the same).
+            from repro.lp.solver import SolverStats
+
+            solver = getattr(backend.pipeline, "solver", None)
+            if solver is not None and isinstance(getattr(solver, "stats", None),
+                                                SolverStats):
+                solver.stats = SolverStats(registry=self.registry)
             self._backends[name] = backend
         return backend

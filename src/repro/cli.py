@@ -16,7 +16,12 @@ passing the same flags compute the same store fingerprint):
   already stored — the CI smoke job's cross-process zero-solve assertion);
 * ``stats``      — print store counters (``--entries`` lists the stored
   summaries, replacing ``repro.service inspect``; ``--tenants`` adds the
-  per-tenant admission telemetry note);
+  per-tenant admission telemetry note; ``--metrics``/``--prometheus``/
+  ``--json`` export the full :mod:`repro.obs` metrics registry as a flat
+  snapshot, Prometheus text exposition, or machine-readable JSON);
+* ``trace``      — run one traced submit → result → stream request at
+  sample rate 1.0 and emit the finished spans as JSONL (stdout or
+  ``--output``), ready for :func:`repro.obs.build_tree`;
 * ``gc``         — one store GC pass: TTL expiration plus LRU eviction
   down to ``--max-store-bytes`` / ``--max-entries`` caps.
 
@@ -57,7 +62,11 @@ def _benchmark_environment(args: argparse.Namespace) -> Tuple[Schema, Constraint
 
 
 def _session(args: argparse.Namespace, schema: Schema) -> Session:
-    config = RegenConfig(engine=args.engine, workers=args.workers)
+    config = RegenConfig(
+        engine=args.engine, workers=args.workers,
+        trace_sample=getattr(args, "trace_sample", 0.0),
+        log_format=getattr(args, "log_format", "text"),
+    )
     return Session(schema, config=config, store=getattr(args, "store", None))
 
 
@@ -186,6 +195,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.service.store import SummaryStore
 
     store = SummaryStore(args.store)
+    if args.json or args.prometheus or args.metrics:
+        # Refresh the store gauges, then export the registry whole.
+        store.counters()
+        if args.json:
+            print(store.registry.to_json(indent=2))
+        elif args.prometheus:
+            sys.stdout.write(store.registry.to_prometheus())
+        else:
+            for series, value in sorted(store.registry.snapshot().items()):
+                print(f"{series} {value}")
+        return 0
     if args.entries:
         entries = store.entries()
         print(f"store={args.store} format=1 summaries={len(entries)}"
@@ -201,6 +221,48 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         # summarize/serve output); an offline store has none to report.
         print("tenants=0 (per-tenant admission telemetry is per serving"
               " process; summarize/serve print it via --tenant)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One traced request — submit, await the summary, stream a relation —
+    at sample rate 1.0, emitting the finished spans as JSONL.
+
+    Progress goes to stderr so stdout stays pure JSONL (pipeable straight
+    into ``repro.obs.parse_jsonl``/``build_tree``).
+    """
+    from repro.obs.trace import get_tracer, span as trace_span
+
+    schema, constraints, _, _ = _benchmark_environment(args)
+    args.trace_sample = 1.0
+    session = _session(args, schema)
+    tracer = get_tracer()
+    tracer.clear()
+    with session.serve() as service:
+        with trace_span("cli.trace", engine=args.engine) as root:
+            ticket = service.submit(constraints, tenant=args.tenant)
+            summary = ticket.result()
+            relation = args.relation or sorted(summary.relations)[0]
+            rows = 0
+            batches = 0
+            for batch in service.stream(ticket.fingerprint, relation,
+                                        batch_size=args.batch_size,
+                                        tenant=args.tenant):
+                rows += batch.num_rows
+                batches += 1
+                if args.max_batches is not None and batches >= args.max_batches:
+                    break
+            root.set_attribute("relation", relation)
+            root.set_attribute("batches", batches)
+            root.set_attribute("rows", rows)
+    if args.output is not None:
+        count = tracer.export(args.output)
+        print(f"wrote {count} spans to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(tracer.to_jsonl())
+    print(f"traced fingerprint={ticket.fingerprint} warm={ticket.warm}"
+          f" relation={relation} batches={batches} rows={rows}"
+          f" spans={len(tracer.spans())}", file=sys.stderr)
     return 0
 
 
@@ -245,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default="hydra", help="pipeline backend")
         p.add_argument("--tenant", default="default",
                        help="tenant tag for fair cold-build admission")
+        p.add_argument("--trace-sample", type=float, default=0.0,
+                       dest="trace_sample",
+                       help="request-trace sampling rate in [0, 1]")
+        p.add_argument("--log-format", choices=("text", "json"),
+                       default="text", dest="log_format",
+                       help="handler format for repro.* log events")
 
     summarize = sub.add_parser(
         "summarize", help="build the benchmark workload's summary into the store")
@@ -295,7 +363,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also list the stored summaries")
     stats.add_argument("--tenants", action="store_true",
                        help="also report per-tenant admission telemetry")
+    export = stats.add_mutually_exclusive_group()
+    export.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry as a flat snapshot")
+    export.add_argument("--prometheus", action="store_true",
+                        help="print the metrics registry in the Prometheus"
+                             " text exposition format")
+    export.add_argument("--json", action="store_true",
+                        help="print the metrics registry as JSON")
     stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="run one traced request and emit its spans as JSONL")
+    trace.add_argument("--store", default=None, help="store directory")
+    add_env(trace)
+    trace.add_argument("--relation", default=None,
+                       help="relation to stream (default: first of the"
+                            " summary)")
+    trace.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
+    trace.add_argument("--max-batches", type=int, default=None)
+    trace.add_argument("--output", default=None,
+                       help="write the span JSONL here instead of stdout")
+    trace.set_defaults(func=_cmd_trace)
 
     gc = sub.add_parser(
         "gc", help="compact the store: TTL expiration + LRU eviction to caps")

@@ -44,6 +44,7 @@ from repro.engine.pipeline import (
 from repro.engine.plan import AnnotatedQueryPlan, FilterNode, JoinNode, PlanNode, ScanNode
 from repro.engine.table import Table
 from repro.errors import EngineError
+from repro.obs.trace import span as trace_span
 from repro.predicates.dnf import DNFPredicate
 from repro.workload.query import Query, Workload
 
@@ -119,7 +120,12 @@ class Executor:
 
     def execute_workload(self, workload: Workload) -> List[AnnotatedQueryPlan]:
         """Execute every query of the workload, returning the AQPs."""
-        return [self.execute_plan(query) for query in workload]
+        with trace_span("engine.execute_workload", mode=self.mode,
+                        queries=len(workload)) as span:
+            plans = [self.execute_plan(query) for query in workload]
+            span.set_attribute("batches", self.stats.batches)
+            span.set_attribute("peak_batch_rows", self.stats.peak_batch_rows)
+        return plans
 
     # ------------------------------------------------------------------ #
     # plan assembly (shared by both modes)

@@ -99,3 +99,8 @@ class ConfigError(ReproError):
 class SummaryStoreError(ServiceError):
     """A summary store is unreadable: unknown format version, corrupted or
     partially written entry files, or a missing store directory."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the :mod:`repro.obs` layer: invalid metric names, label
+    sets, bucket layouts or quantile arguments."""

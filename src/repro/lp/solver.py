@@ -21,7 +21,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +36,11 @@ from repro.lp.decompose import (
 )
 from repro.lp.model import LPModel, LPSolution
 from repro.metrics.timing import TimingLog
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as trace_span
+
+logger = get_logger("lp.solver")
 
 #: Above this many variables the MILP pass is skipped and the continuous
 #: solver is used directly (keeps solve times predictable on huge grids).
@@ -214,15 +219,60 @@ def _solve_component(args: Tuple[LPModel, bool, int, Optional[float]]) -> LPSolu
     ).solve(model)
 
 
-@dataclass
 class SolverStats:
-    """Counters and timings accumulated by a :class:`ParallelLPSolver`."""
+    """Counters and timings accumulated by a :class:`ParallelLPSolver`.
 
-    models_solved: int = 0
-    components_solved: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    timings: TimingLog = field(default_factory=TimingLog)
+    The counters are registry-backed views (one :class:`MetricsRegistry` per
+    solver by default): ``models_solved`` / ``components_solved`` /
+    ``cache_hits`` / ``cache_misses`` read the underlying
+    ``repro_lp_*_total`` counters, so legacy delta-reads
+    (``stats.components_solved - before``) and the full Prometheus/JSON
+    exports see the same numbers.  ``timings`` keeps the historical
+    :class:`TimingLog` phase totals, itself re-backed on the same registry.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._models = self.registry.counter(
+            "repro_lp_models_solved_total",
+            "LP models solved (after decomposition and stitching)")
+        self._components = self.registry.counter(
+            "repro_lp_components_solved_total",
+            "Independent LP components actually solved (cache misses)")
+        self._hits = self.registry.counter(
+            "repro_lp_cache_hits_total", "Component-solution cache hits")
+        self._misses = self.registry.counter(
+            "repro_lp_cache_misses_total", "Component-solution cache misses")
+        self._solve_seconds = self.registry.histogram(
+            "repro_lp_solve_seconds",
+            "Wall-clock latency of ParallelLPSolver.solve_many calls")
+        self.timings = TimingLog(registry=self.registry)
+
+    @property
+    def models_solved(self) -> int:
+        return int(self._models.value())
+
+    @property
+    def components_solved(self) -> int:
+        return int(self._components.value())
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._hits.value())
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._misses.value())
+
+    def observe_solve(self, seconds: float) -> None:
+        """Record one ``solve_many`` wall-clock latency."""
+        self._solve_seconds.observe(seconds)
+
+    def __repr__(self) -> str:
+        return (f"SolverStats(models_solved={self.models_solved},"
+                f" components_solved={self.components_solved},"
+                f" cache_hits={self.cache_hits},"
+                f" cache_misses={self.cache_misses})")
 
 
 class SolutionCache:
@@ -362,7 +412,6 @@ class ParallelLPSolver:
         self.strict = strict
         self.use_processes = use_processes
         self.stats = SolverStats()
-        self._stats_lock = threading.Lock()
         if cache_backend is not None:
             self._cache: Optional[SolutionCache] = cache_backend
         elif cache_size > 0:
@@ -393,25 +442,30 @@ class ParallelLPSolver:
         solution per input model, in order.
         """
         started = time.perf_counter()
-        with self.stats.timings.time("decompose") as _:
-            decompositions = [decompose_model(model) for model in models]
+        with trace_span("lp.solve_many", models=len(models)) as solve_span:
+            with trace_span("lp.decompose"), \
+                    self.stats.timings.time("decompose") as _:
+                decompositions = [decompose_model(model) for model in models]
 
-        resolved = self._resolve_components(decompositions)
+            resolved = self._resolve_components(decompositions)
 
-        solutions: List[LPSolution] = []
-        with self.stats.timings.time("stitch") as _:
-            for model, decomposition in zip(models, decompositions):
-                parts = [resolved[c.key] for c in decomposition.components]
-                stitched = stitch_solutions(decomposition, parts)
-                if self.strict and stitched.max_violation > STRICT_VIOLATION_TOLERANCE:
-                    raise InfeasibleLPError(
-                        f"LP {model.name!r} is infeasible: residual violation"
-                        f" {stitched.max_violation:g} after decomposed solve"
-                    )
-                solutions.append(stitched)
-        with self._stats_lock:
-            self.stats.models_solved += len(models)
-        self.stats.timings.record("wall", time.perf_counter() - started)
+            solutions: List[LPSolution] = []
+            with trace_span("lp.stitch"), self.stats.timings.time("stitch") as _:
+                for model, decomposition in zip(models, decompositions):
+                    parts = [resolved[c.key] for c in decomposition.components]
+                    stitched = stitch_solutions(decomposition, parts)
+                    if self.strict and stitched.max_violation > STRICT_VIOLATION_TOLERANCE:
+                        raise InfeasibleLPError(
+                            f"LP {model.name!r} is infeasible: residual violation"
+                            f" {stitched.max_violation:g} after decomposed solve"
+                        )
+                    solutions.append(stitched)
+            self.stats._models.inc(len(models))
+            wall = time.perf_counter() - started
+            self.stats.timings.record("wall", wall)
+            self.stats.observe_solve(wall)
+            solve_span.set_attribute(
+                "components", sum(len(d.components) for d in decompositions))
         return solutions
 
     @property
@@ -461,7 +515,8 @@ class ParallelLPSolver:
             return self._by_component_key(decompositions, resolved)
         items = list(pending.items())
         components = [component for _, component in items]
-        with self.stats.timings.time("solve") as _:
+        with trace_span("lp.solve_components", pending=len(components)), \
+                self.stats.timings.time("solve") as _:
             if self.workers > 1 and len(components) > 1:
                 results = self._solve_pool(components)
             else:
@@ -469,8 +524,9 @@ class ParallelLPSolver:
         for (key, _component), solution in zip(items, results):
             resolved[key] = solution
             self._cache_put(key, solution)
-        with self._stats_lock:
-            self.stats.components_solved += len(components)
+        self.stats._components.inc(len(components))
+        logger.debug("solved %d pending components (%d resolved from cache)",
+                     len(components), len(resolved) - len(components))
         return self._by_component_key(decompositions, resolved)
 
     def _cache_key(self, component: LPComponent) -> str:
@@ -505,11 +561,10 @@ class ParallelLPSolver:
     # ------------------------------------------------------------------ #
     def _cache_get(self, key: str) -> Optional[LPSolution]:
         solution = self._cache.get(key) if self._cache is not None else None
-        with self._stats_lock:
-            if solution is None:
-                self.stats.cache_misses += 1
-            else:
-                self.stats.cache_hits += 1
+        if solution is None:
+            self.stats._misses.inc()
+        else:
+            self.stats._hits.inc()
         return solution
 
     def _cache_put(self, key: str, solution: LPSolution) -> None:

@@ -1,11 +1,21 @@
-"""Small timing utilities shared by the experiment harness."""
+"""Small timing utilities shared by the experiment harness.
+
+Since the :mod:`repro.obs` layer landed, :class:`TimingLog` is a thin facade
+over a phase-labeled :class:`repro.obs.metrics.Histogram`: every
+``record``/``time`` call is one histogram observation, so a log owned by an
+instrumented component (e.g. the parallel LP solver) exposes not only the
+accumulated totals of the legacy API but also per-phase counts and
+p50/p95/p99 estimates through its backing registry.  The public surface —
+``Timer``, ``TimingLog(entries=...)``, ``record``, ``time``, ``total``,
+``entries`` — is unchanged.
+"""
 
 from __future__ import annotations
 
-import threading
 import time
-from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 class Timer:
@@ -33,31 +43,57 @@ class Timer:
             self._start = None
 
 
-@dataclass
 class TimingLog:
     """Accumulates named timings for multi-phase experiments.
 
     Recording is thread-safe, so phases running inside a worker pool (e.g.
-    the parallel LP solver) can share one log.
+    the parallel LP solver) can share one log.  Each named phase is one
+    labeled series of a ``repro_timing_seconds`` histogram on ``registry``
+    (a private registry by default), so ``phases``/``quantile`` offer
+    distribution views on top of the accumulated ``entries`` totals.
     """
 
-    entries: Dict[str, float] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock,
-                                  repr=False, compare=False)
+    def __init__(self, entries: Optional[Dict[str, float]] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._histogram: Histogram = self.registry.histogram(
+            "repro_timing_seconds",
+            "Per-phase wall-clock accumulated through TimingLog",
+            labelnames=("phase",),
+        )
+        if entries:
+            for name, seconds in entries.items():
+                self.record(name, seconds)
 
     def record(self, name: str, seconds: float) -> None:
         """Add (accumulate) a timing under ``name``."""
-        with self._lock:
-            self.entries[name] = self.entries.get(name, 0.0) + seconds
+        self._histogram.labels(phase=name).observe(seconds)
 
     def time(self, name: str) -> "_LogTimer":
         """Return a context manager that records its duration under ``name``."""
         return _LogTimer(self, name)
 
+    @property
+    def entries(self) -> Dict[str, float]:
+        """Accumulated seconds per phase name (the legacy dict view)."""
+        return {child.labelvalues[0]: child.sum
+                for child in self._histogram.children()}
+
     def total(self) -> float:
         """Sum of all recorded timings."""
-        with self._lock:
-            return sum(self.entries.values())
+        return sum(self.entries.values())
+
+    def quantile(self, name: str, q: float) -> float:
+        """Estimated ``q``-quantile of the individual timings of one phase."""
+        return self._histogram.labels(phase=name).quantile(q)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimingLog):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __repr__(self) -> str:
+        return f"TimingLog(entries={self.entries!r})"
 
 
 class _LogTimer:

@@ -1,0 +1,73 @@
+"""Unified observability: metrics registry, request tracing, structured logs.
+
+``repro.obs`` is the one telemetry substrate every layer of the library
+reports through:
+
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  labeled :class:`Counter` / :class:`Gauge` / :class:`Histogram` families
+  (log-scale buckets, p50/p95/p99 estimation) with snapshot, Prometheus
+  text exposition and JSON export;
+* :mod:`repro.obs.trace` — contextvars-propagated :class:`Span` trees with
+  trace/span ids, durations and attributes, sampled at the root, exported
+  as JSONL and reconstructed with :func:`build_tree`;
+* :mod:`repro.obs.logging` — ``repro.*``-namespaced loggers with an
+  optional JSON formatter that joins log lines to the active span.
+
+The solver (solve latency, cache hits), the store (hits/misses/evictions,
+bytes), the executor (batches, rows, peak) and the serving front-end (queue
+depth, per-tenant latency distributions) all instrument through this
+package; ``RegenerationService.stats()`` and the ``python -m repro stats
+--metrics|--prometheus|--json`` / ``trace`` CLI commands read it back out.
+The :class:`~repro.api.RegenConfig` knobs ``obs_enabled``, ``trace_sample``
+and ``log_format`` switch the layer without touching call sites; see
+``docs/OBSERVABILITY.md`` for the full metric catalogue and trace-field
+reference.
+"""
+
+from repro.obs.logging import (
+    JsonFormatter,
+    LOG_FORMATS,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QUANTILE_RELATIVE_ERROR,
+    get_registry,
+    log_buckets,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    build_tree,
+    current_span,
+    get_tracer,
+    parse_jsonl,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "log_buckets",
+    "DEFAULT_BUCKETS",
+    "QUANTILE_RELATIVE_ERROR",
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_tracer",
+    "build_tree",
+    "parse_jsonl",
+    "get_logger",
+    "configure_logging",
+    "JsonFormatter",
+    "LOG_FORMATS",
+]

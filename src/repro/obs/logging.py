@@ -1,0 +1,122 @@
+"""Structured logging for the ``repro.*`` logger namespace.
+
+Every module in the library logs through :func:`get_logger`, which pins the
+logger name under the ``repro.`` root (``get_logger("service")`` →
+``logging.getLogger("repro.service")``) — one switch silences or redirects
+the whole library, and the :mod:`tools.check_obs` lint rejects any logger
+outside the namespace.  The library itself only attaches a
+:class:`logging.NullHandler` (standard library etiquette: no output unless
+the application asks for it).
+
+:func:`configure_logging` is that ask: it attaches one stream handler to the
+``repro`` root, either human-readable text or one JSON object per line
+(:class:`JsonFormatter`), and is idempotent — reconfiguring replaces the
+previous handler instead of stacking duplicates.  JSON records carry the
+timestamp, level, logger, message, any ``extra={...}`` fields passed at the
+call site, and — when the call happens inside a sampled trace — the active
+``trace_id``/``span_id``, so log lines can be joined against exported spans.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.trace import current_span
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+#: Attribute names every ``LogRecord`` carries by default; anything else on a
+#: record is a caller-supplied ``extra`` field and lands in the JSON output.
+_STANDARD_ATTRS = frozenset(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None))
+) | {"message", "asctime", "taskName"}
+
+#: Supported ``configure_logging`` / ``RegenConfig.log_format`` spellings.
+LOG_FORMATS = ("text", "json")
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger inside the ``repro.*`` namespace.
+
+    ``name`` may be a bare suffix (``"service"``), an already-qualified
+    ``repro.*`` name, or a module ``__name__`` (which already starts with
+    ``repro.``); empty returns the namespace root.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log record, trace-correlated when possible."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                payload[key] = value
+        span = current_span()
+        if span is not None:
+            payload.setdefault("trace_id", span.trace_id)
+            payload.setdefault("span_id", span.span_id)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class TextFormatter(logging.Formatter):
+    """Terse single-line text format with the extra fields appended."""
+
+    default_msec_format = "%s.%03d"
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        extras = " ".join(
+            f"{key}={value}" for key, value in record.__dict__.items()
+            if key not in _STANDARD_ATTRS and not key.startswith("_")
+        )
+        return f"{base} {extras}" if extras else base
+
+    def formatTime(self, record: logging.LogRecord,
+                   datefmt: Optional[str] = None) -> str:
+        return time.strftime("%H:%M:%S", time.localtime(record.created))
+
+
+def configure_logging(level: "int | str" = logging.INFO,
+                      log_format: str = "text",
+                      stream: Optional[IO[str]] = None) -> logging.Handler:
+    """Attach (or replace) the library's output handler on the ``repro``
+    root logger and return it.  ``log_format`` is ``"text"`` or ``"json"``."""
+    if log_format not in LOG_FORMATS:
+        raise ObservabilityError(
+            f"unknown log format {log_format!r}; expected one of {LOG_FORMATS}"
+        )
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonFormatter() if log_format == "json"
+                         else TextFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

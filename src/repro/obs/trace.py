@@ -1,0 +1,304 @@
+"""Request tracing: contextvars-propagated spans with JSONL export.
+
+A :class:`Span` is one timed operation — a submit, an LP solve, a streamed
+relation — carrying a ``trace_id`` shared by every span of one request, its
+own ``span_id``, its parent's id, wall-clock start time, duration and free
+attributes.  Spans nest through a :mod:`contextvars` variable, so opening a
+span inside another (same thread / async task) records the parent/child edge
+automatically; crossing a worker pool requires capturing the parent
+explicitly (``parent=tracer.current()`` at enqueue time) because each pool
+thread runs in its own context — exactly what
+:class:`~repro.service.RegenerationService` does for cold builds.
+
+The process-wide :class:`Tracer` samples at the *root*: a new trace is
+recorded with probability ``sample`` (default 0 — tracing off, and a
+disabled ``span()`` costs one contextvar read); child spans inherit their
+parent's decision, so a trace is always complete or absent, never ragged.
+Finished spans land in a bounded ring buffer, exportable as JSON-lines via
+:meth:`Tracer.to_jsonl` / :meth:`Tracer.export`, and
+:func:`build_tree` reconstructs the parent/child forest from exported
+records (the round-trip the serving tests assert).
+
+Instrumented modules call the module-level :func:`span` helper against the
+global tracer; generators and cursors, whose lifetime extends across
+``yield``-s, use :meth:`Tracer.start_span` / :meth:`Span.finish` instead of
+the context manager so the contextvar is never left set in a consumer's
+context between batches.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+#: Default capacity of the finished-span ring buffer.
+DEFAULT_CAPACITY = 4096
+
+_current_span: "contextvars.ContextVar[Optional[Span]]" = \
+    contextvars.ContextVar("repro_obs_span", default=None)
+
+
+class Span:
+    """One timed, attributed operation within a trace.
+
+    Use as a context manager (the common case) or drive :meth:`finish`
+    manually for spans whose lifetime crosses generator ``yield``-s.  While
+    active as a context manager the span is the thread's *current* span and
+    children opened inside nest under it.
+    """
+
+    __slots__ = ("tracer", "name", "trace_id", "span_id", "parent_id",
+                 "attributes", "started_at", "_t0", "duration_seconds",
+                 "status", "error", "_token", "_finished")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: Optional[str],
+                 attributes: Optional[Dict[str, object]] = None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = os.urandom(8).hex()
+        self.parent_id = parent_id
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self.duration_seconds = 0.0
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._token: Optional[contextvars.Token] = None
+        self._finished = False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        """Close the span (idempotent) and hand it to the tracer's buffer."""
+        if self._finished:
+            return
+        self._finished = True
+        self.duration_seconds = time.perf_counter() - self._t0
+        if error is not None:
+            self.status = "error"
+            self.error = f"{type(error).__name__}: {error}"
+        self.tracer._record(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The span as one JSON-serialisable record."""
+        record: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "started_at": round(self.started_at, 6),
+            "duration_seconds": round(self.duration_seconds, 9),
+            "status": self.status,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.attributes:
+            record["attributes"] = self.attributes
+        return record
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        self.finish(exc)
+
+
+class _NullSpan:
+    """The no-op span handed out when the trace is not sampled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Samples, collects and exports spans (one per process is the norm)."""
+
+    def __init__(self, sample: float = 0.0,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._finished: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._random = random.Random()
+        self.sample = 0.0
+        self.configure(sample=sample, capacity=capacity)
+
+    def configure(self, sample: Optional[float] = None,
+                  capacity: Optional[int] = None) -> None:
+        """Adjust the sampling rate and/or ring-buffer capacity."""
+        if sample is not None:
+            if not 0.0 <= sample <= 1.0:
+                raise ObservabilityError(
+                    f"trace sample rate {sample} out of range [0, 1]"
+                )
+            self.sample = float(sample)
+        if capacity is not None:
+            if capacity < 1:
+                raise ObservabilityError("tracer capacity must be positive")
+            with self._lock:
+                if self._finished.maxlen != capacity:
+                    self._finished = deque(self._finished, maxlen=capacity)
+
+    @property
+    def enabled(self) -> bool:
+        """``True`` when new root spans can be sampled."""
+        return self.sample > 0.0
+
+    # ------------------------------------------------------------------ #
+    # span creation
+    # ------------------------------------------------------------------ #
+    def current(self) -> Optional[Span]:
+        """The active span of this thread/context, if any."""
+        return _current_span.get()
+
+    def span(self, name: str, parent: "Optional[Span | _NullSpan]" = None,
+             **attributes: object):
+        """A context-manager span: child of ``parent`` (explicit or the
+        current span), or a new sampled trace root.  Returns the shared
+        no-op span when the trace is not recorded."""
+        return self.start_span(name, parent=parent, **attributes)
+
+    def start_span(self, name: str,
+                   parent: "Optional[Span | _NullSpan]" = None,
+                   **attributes: object):
+        """Like :meth:`span` but also usable without ``with``: callers that
+        outlive their creation scope (stream cursors) hold the span and call
+        :meth:`Span.finish` themselves — the span is then never made
+        *current*, so nothing leaks into the consumer's context."""
+        if parent is None:
+            parent = _current_span.get()
+        if isinstance(parent, Span):
+            return Span(self, name, parent.trace_id, parent.span_id, attributes)
+        if isinstance(parent, _NullSpan):
+            return NULL_SPAN  # the parent's trace was not sampled
+        if self.sample <= 0.0:
+            return NULL_SPAN
+        if self.sample < 1.0 and self._random.random() >= self.sample:
+            return NULL_SPAN
+        return Span(self, name, os.urandom(16).hex(), None, attributes)
+
+    # ------------------------------------------------------------------ #
+    # collection and export
+    # ------------------------------------------------------------------ #
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span.to_dict())
+
+    def spans(self) -> List[Dict[str, object]]:
+        """Finished span records, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop all finished spans."""
+        with self._lock:
+            self._finished.clear()
+
+    def to_jsonl(self) -> str:
+        """Finished spans as JSON-lines (one record per line)."""
+        return "".join(json.dumps(record, sort_keys=True) + "\n"
+                       for record in self.spans())
+
+    def export(self, path: "str | os.PathLike[str]") -> int:
+        """Write the finished spans to ``path`` as JSONL; returns the count."""
+        records = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+#: The process-wide tracer used by the module-level helpers and by every
+#: instrumented module.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide :class:`Tracer`."""
+    return _TRACER
+
+
+def span(name: str, parent: "Optional[Span | _NullSpan]" = None,
+         **attributes: object):
+    """Open a span on the process tracer (see :meth:`Tracer.span`)."""
+    return _TRACER.span(name, parent=parent, **attributes)
+
+
+def current_span() -> Optional[Span]:
+    """The active span of this thread/context on the process tracer."""
+    return _TRACER.current()
+
+
+def tracing_active() -> bool:
+    """``True`` when a :func:`span` call could record anything: the process
+    tracer samples new roots, or the caller already sits inside a recorded
+    span.  Hot paths (the store's warm read, for one) check this before
+    building span attributes so fully-disabled tracing costs one attribute
+    read plus one contextvar read per call."""
+    return _TRACER.sample > 0.0 or _current_span.get() is not None
+
+
+def parse_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse exported JSONL back into span records."""
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def build_tree(records: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Reconstruct the span forest from exported records.
+
+    Each returned root is its record plus a ``children`` list (recursively),
+    ordered by start time.  Spans whose parent is missing from ``records``
+    (e.g. evicted from the ring buffer) become roots, so the result is
+    always a complete forest over the given records.
+    """
+    by_id: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        node = dict(record)
+        node["children"] = []
+        by_id[str(node["span_id"])] = node
+    roots: List[Dict[str, object]] = []
+    for node in by_id.values():
+        parent = by_id.get(str(node.get("parent_id")))
+        if parent is not None:
+            parent["children"].append(node)  # type: ignore[union-attr]
+        else:
+            roots.append(node)
+    def sort(nodes: List[Dict[str, object]]) -> None:
+        nodes.sort(key=lambda n: n.get("started_at", 0.0))
+        for node in nodes:
+            sort(node["children"])  # type: ignore[arg-type]
+    sort(roots)
+    return roots

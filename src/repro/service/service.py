@@ -31,6 +31,7 @@ builds into a request/serve loop:
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -61,7 +62,11 @@ from repro.errors import (
     ServiceOverloadedError,
 )
 from repro.hydra.pipeline import HydraConfig
+from repro.lp.solver import SolverStats
 from repro.metrics.similarity import SimilarityReport, evaluate_with_executor
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer, span as trace_span
 from repro.schema.schema import Schema
 from repro.service.store import SummaryStore
 from repro.summary.relation_summary import DatabaseSummary
@@ -70,6 +75,12 @@ from repro.workload.query import Workload
 
 #: Tenant tag assigned to submissions that do not name one.
 DEFAULT_TENANT = "default"
+
+logger = get_logger("service")
+
+#: The per-tenant build outcomes tracked by the fair-admission queue (the
+#: label values of ``repro_service_tenant_builds_total``).
+_TENANT_OUTCOMES = ("admitted", "rejected", "completed", "failed")
 
 
 class _Flight:
@@ -89,16 +100,27 @@ class _Flight:
 
 
 class _QueuedBuild:
-    """One admitted cold build waiting for (or holding) a worker slot."""
+    """One admitted cold build waiting for (or holding) a worker slot.
 
-    __slots__ = ("fingerprint", "workload", "relations", "flight")
+    ``submitted_at`` anchors the tenant's end-to-end latency histogram;
+    ``parent_span`` is the submit-time trace context, captured explicitly
+    because the build runs on a pool thread whose own context is empty.
+    """
+
+    __slots__ = ("fingerprint", "workload", "relations", "flight",
+                 "submitted_at", "parent_span")
 
     def __init__(self, fingerprint: str, workload: ConstraintSet,
-                 relations: Optional[Sequence[str]], flight: _Flight) -> None:
+                 relations: Optional[Sequence[str]], flight: _Flight,
+                 submitted_at: Optional[float] = None,
+                 parent_span: object = None) -> None:
         self.fingerprint = fingerprint
         self.workload = workload
         self.relations = relations
         self.flight = flight
+        self.submitted_at = time.perf_counter() if submitted_at is None \
+            else submitted_at
+        self.parent_span = parent_span
 
 
 class _PinnedCursor:
@@ -113,11 +135,15 @@ class _PinnedCursor:
 
     def __init__(self, store: SummaryStore, fingerprint: str,
                  batches: Iterator[Table],
-                 on_batch: Optional[callable] = None) -> None:
+                 on_batch: Optional[callable] = None,
+                 on_first_batch: Optional[callable] = None,
+                 on_release: Optional[callable] = None) -> None:
         self._store = store
         self._fingerprint = fingerprint
         self._batches = batches
         self._on_batch = on_batch
+        self._on_first_batch = on_first_batch
+        self._on_release = on_release
         self._pinned = True
         store.pin(fingerprint)
 
@@ -125,6 +151,8 @@ class _PinnedCursor:
         if self._pinned:
             self._pinned = False
             self._store.unpin(self._fingerprint)
+            if self._on_release is not None:
+                self._on_release()
 
     def __iter__(self) -> "_PinnedCursor":
         return self
@@ -135,6 +163,9 @@ class _PinnedCursor:
         except BaseException:  # StopIteration included: cursor is done
             self._release()
             raise
+        if self._on_first_batch is not None:
+            self._on_first_batch()
+            self._on_first_batch = None
         if self._on_batch is not None:
             self._on_batch()
         return batch
@@ -181,7 +212,13 @@ class Ticket:
 
 @dataclass(frozen=True)
 class TenantStats:
-    """Per-tenant admission/progress counters (one row of the fair queue)."""
+    """Per-tenant admission/progress counters (one row of the fair queue).
+
+    The latency fields are estimated from the tenant's end-to-end
+    (``repro_service_request_seconds``) and time-to-first-batch
+    (``repro_service_ttfb_seconds``) histograms; they are ``0.0`` until the
+    tenant has completed at least one request / streamed one batch.
+    """
 
     tenant: str
     admitted: int = 0
@@ -190,6 +227,10 @@ class TenantStats:
     failed: int = 0
     queued: int = 0
     running: int = 0
+    e2e_p50: float = 0.0
+    e2e_p99: float = 0.0
+    ttfb_p50: float = 0.0
+    ttfb_p99: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -287,6 +328,15 @@ class RegenerationService:
                 f"unsupported config type {type(config).__name__};"
                 " pass a RegenConfig, HydraConfig or DataSynthConfig"
             )
+        #: The service's metrics registry: every ``repro_service_*`` series,
+        #: plus the store's and the LP solver's metrics when those components
+        #: are owned by this service.  ``config.obs_enabled=False`` turns
+        #: every update into a no-op (``stats()`` then reports zeros).
+        self.registry = MetricsRegistry(enabled=self.config.obs_enabled)
+        if self.config.trace_sample > 0.0:
+            get_tracer().configure(sample=self.config.trace_sample)
+        if self.config.log_format == "json":
+            configure_logging(log_format="json")
         if isinstance(store, SummaryStore):
             self.store = store
         else:
@@ -295,12 +345,19 @@ class RegenerationService:
                 max_store_bytes=self.config.max_store_bytes,
                 max_entries=self.config.max_entries,
                 ttl_seconds=self.config.ttl_seconds,
+                registry=self.registry,
             )
         self.engine = engine or self.config.engine
         self.backend = create_backend(self.engine, schema, self.config, self.store)
         #: Back-compat alias: the wrapped engine object (a ``Hydra`` for the
         #: default backend — tests and tooling patch ``hydra.build_summary``).
         self.hydra = self.backend.pipeline
+        # Re-home the solver's stats onto the service registry, so one
+        # export (`stats --prometheus`) covers service, store and solver.
+        solver = getattr(self.backend.pipeline, "solver", None)
+        if solver is not None and isinstance(getattr(solver, "stats", None),
+                                             SolverStats):
+            solver.stats = SolverStats(registry=self.registry)
         self.max_pending = max_pending if max_pending is not None \
             else self.config.max_pending
         self.max_pending_per_tenant = max_pending_per_tenant \
@@ -330,23 +387,62 @@ class RegenerationService:
         # catch-up credit for past idleness), and the clocks reset whenever
         # the queue fully drains.
         self._tenant_clock: Dict[str, float] = {}
-        self._tenant_counters: Dict[str, Dict[str, int]] = {}
+        # Every legacy ``stats()`` counter is a registry-backed series; the
+        # dict maps the legacy flat key to its metric family, so the registry
+        # is the single source of truth and the legacy dict shape is derived.
         self._counters = {
-            "requests": 0,
-            "hits": 0,            # served warm (store, no pipeline)
-            "misses": 0,          # cold: admitted a pipeline build
-            "inflight_dedup": 0,  # attached to an identical in-flight build
-            "rejected_submissions": 0,  # admission-cap rejections (all tenants)
-            "pipeline_runs": 0,
-            "pipeline_failures": 0,  # builds that raised (incl. dispatch failures)
-            "gc_runs": 0,
-            "batches_streamed": 0,
+            "requests": self.registry.counter(
+                "repro_service_requests_total", "Submissions received"),
+            "hits": self.registry.counter(
+                "repro_service_warm_hits_total",
+                "Requests served warm from the store (no pipeline)"),
+            "misses": self.registry.counter(
+                "repro_service_cold_misses_total",
+                "Cold requests admitted into the build queue"),
+            "inflight_dedup": self.registry.counter(
+                "repro_service_inflight_dedup_total",
+                "Requests attached to an identical in-flight build"),
+            "rejected_submissions": self.registry.counter(
+                "repro_service_rejected_submissions_total",
+                "Cold submissions refused by an admission cap"),
+            "pipeline_runs": self.registry.counter(
+                "repro_service_pipeline_runs_total",
+                "Cold builds handed to the pipeline backend"),
+            "pipeline_failures": self.registry.counter(
+                "repro_service_pipeline_failures_total",
+                "Builds that raised (including dispatch failures)"),
+            "gc_runs": self.registry.counter(
+                "repro_service_gc_runs_total", "Store GC passes"),
+            "batches_streamed": self.registry.counter(
+                "repro_service_batches_streamed_total",
+                "Tuple batches handed to streaming consumers"),
             # executor memory telemetry (regenerate-then-verify paths)
-            "workloads_executed": 0,
-            "verifications": 0,
-            "executor_batches": 0,
-            "executor_peak_batch_rows": 0,
+            "workloads_executed": self.registry.counter(
+                "repro_service_workloads_executed_total",
+                "AQP workloads replayed over regenerated databases"),
+            "verifications": self.registry.counter(
+                "repro_service_verifications_total",
+                "Volumetric-similarity verification runs"),
+            "executor_batches": self.registry.counter(
+                "repro_service_executor_batches_total",
+                "Batches pushed through executor pipelines"),
+            "executor_peak_batch_rows": self.registry.gauge(
+                "repro_service_executor_peak_batch_rows",
+                "Largest batch any executor pushed through a plan"),
         }
+        self._g_queue_depth = self.registry.gauge(
+            "repro_service_queue_depth",
+            "Cold builds admitted but not yet holding a worker slot")
+        self._h_request = self.registry.histogram(
+            "repro_service_request_seconds",
+            "End-to-end submit-to-summary latency", labelnames=("tenant",))
+        self._h_ttfb = self.registry.histogram(
+            "repro_service_ttfb_seconds",
+            "Stream handout to first batch latency", labelnames=("tenant",))
+        self._tenant_builds = self.registry.counter(
+            "repro_service_tenant_builds_total",
+            "Per-tenant build outcomes of the fair-admission queue",
+            labelnames=("tenant", "outcome"))
         self._gc_stop = threading.Event()
         self._gc_thread: Optional[threading.Thread] = None
         if self.gc_interval is not None and self.gc_interval > 0:
@@ -384,12 +480,24 @@ class RegenerationService:
         ``max_pending`` cap or the tenant's ``max_pending_per_tenant`` cap
         is full; warm requests and in-flight dedup are always admitted.
         """
+        started = time.perf_counter()
+        with trace_span("service.submit", tenant=tenant) as span:
+            ticket = self._submit(workload, relations, tenant, span, started)
+            span.set_attribute("fingerprint", ticket.fingerprint[:12])
+            span.set_attribute("warm", ticket.warm)
+        return ticket
+
+    def _submit(self, workload: ConstraintSet,
+                relations: Optional[Sequence[str]], tenant: str,
+                span: object, started: float) -> Ticket:
         fingerprint = self.fingerprint(workload, relations)
         with self._lock:
-            self._counters["requests"] += 1
+            self._counters["requests"].inc()
             flight = self._flights.get(fingerprint)
             if flight is not None:
-                self._counters["inflight_dedup"] += 1
+                self._counters["inflight_dedup"].inc()
+                logger.debug("request %s deduplicated onto in-flight build",
+                             fingerprint[:12])
                 return Ticket(fingerprint, flight)
         # The store lookup may hit disk (gzip + JSON decode); keep it outside
         # the lock so concurrent streamers are never stalled behind it, then
@@ -398,24 +506,29 @@ class RegenerationService:
         with self._lock:
             flight = self._flights.get(fingerprint)
             if flight is not None:
-                self._counters["inflight_dedup"] += 1
+                self._counters["inflight_dedup"].inc()
+                logger.debug("request %s deduplicated onto in-flight build",
+                             fingerprint[:12])
                 return Ticket(fingerprint, flight)
             if summary is not None:
-                self._counters["hits"] += 1
+                self._counters["hits"].inc()
+                self._h_request.labels(tenant=tenant).observe(
+                    time.perf_counter() - started)
                 return Ticket(fingerprint, _Flight(summary, warm=True,
                                                    tenant=tenant))
             if self._closed:
                 raise ServiceClosedError(
                     "service is closed; no new cold builds are accepted"
                 )
-            tenant_row = self._tenant_counters.setdefault(
-                tenant, {"admitted": 0, "rejected": 0,
-                         "completed": 0, "failed": 0},
-            )
             if (self.max_pending is not None
                     and len(self._flights) >= self.max_pending):
-                self._counters["rejected_submissions"] += 1
-                tenant_row["rejected"] += 1
+                self._counters["rejected_submissions"].inc()
+                self._tenant_builds.labels(tenant=tenant,
+                                           outcome="rejected").inc()
+                logger.warning(
+                    "rejected cold submission %s from tenant %s:"
+                    " max_pending=%s reached",
+                    fingerprint[:12], tenant, self.max_pending)
                 raise ServiceOverloadedError(
                     f"{len(self._flights)} cold builds already pending"
                     f" (max_pending={self.max_pending}); retry later"
@@ -423,22 +536,30 @@ class RegenerationService:
             pending = self._pending_by_tenant.get(tenant, 0)
             if (self.max_pending_per_tenant is not None
                     and pending >= self.max_pending_per_tenant):
-                self._counters["rejected_submissions"] += 1
-                tenant_row["rejected"] += 1
+                self._counters["rejected_submissions"].inc()
+                self._tenant_builds.labels(tenant=tenant,
+                                           outcome="rejected").inc()
+                logger.warning(
+                    "rejected cold submission %s from tenant %s:"
+                    " max_pending_per_tenant=%s reached",
+                    fingerprint[:12], tenant, self.max_pending_per_tenant)
                 raise ServiceOverloadedError(
                     f"tenant {tenant!r} has {pending} cold builds pending"
                     f" (max_pending_per_tenant={self.max_pending_per_tenant});"
                     " retry later"
                 )
-            self._counters["misses"] += 1
-            tenant_row["admitted"] += 1
+            self._counters["misses"].inc()
+            self._tenant_builds.labels(tenant=tenant, outcome="admitted").inc()
+            logger.debug("admitted cold build %s for tenant %s",
+                         fingerprint[:12], tenant)
             flight = _Flight(tenant=tenant)
             self._flights[fingerprint] = flight
             if pending == 0:
                 self._activate_tenant_locked(tenant)
             self._pending_by_tenant[tenant] = pending + 1
             self._queues.setdefault(tenant, deque()).append(
-                _QueuedBuild(fingerprint, workload, relations, flight)
+                _QueuedBuild(fingerprint, workload, relations, flight,
+                             submitted_at=started, parent_span=span)
             )
             self._dispatch_locked()
         return Ticket(fingerprint, flight)
@@ -512,6 +633,8 @@ class RegenerationService:
                     f"worker pool rejected build {build.fingerprint[:12]}:"
                     f" {error}"
                 ))
+        self._g_queue_depth.set(
+            sum(len(queue) for queue in self._queues.values()))
         if self._running_total == 0 and not self._queues:
             # Busy period over: the service clocks only measure fairness
             # within one contended stretch, so drop them rather than letting
@@ -523,9 +646,11 @@ class RegenerationService:
         flight = build.flight
         error: Optional[BaseException] = None
         try:
-            with self._lock:
-                self._counters["pipeline_runs"] += 1
-            result = self.backend.build(build.workload, build.relations)
+            self._counters["pipeline_runs"].inc()
+            with get_tracer().span("service.build", parent=build.parent_span,
+                                   tenant=flight.tenant,
+                                   fingerprint=build.fingerprint[:12]):
+                result = self.backend.build(build.workload, build.relations)
             flight.summary = result.summary
         except BaseException as caught:  # surfaced to every waiter
             error = caught
@@ -555,14 +680,15 @@ class RegenerationService:
             self._pending_by_tenant[tenant] = pending
         else:
             self._pending_by_tenant.pop(tenant, None)
-        row = self._tenant_counters.setdefault(
-            tenant, {"admitted": 0, "rejected": 0, "completed": 0, "failed": 0},
-        )
+        self._h_request.labels(tenant=tenant).observe(
+            time.perf_counter() - build.submitted_at)
         if error is None:
-            row["completed"] += 1
+            self._tenant_builds.labels(tenant=tenant, outcome="completed").inc()
         else:
-            row["failed"] += 1
-            self._counters["pipeline_failures"] += 1
+            self._tenant_builds.labels(tenant=tenant, outcome="failed").inc()
+            self._counters["pipeline_failures"].inc()
+            logger.error("pipeline build %s for tenant %s failed: %s",
+                         build.fingerprint[:12], tenant, error)
 
     # ------------------------------------------------------------------ #
     # streaming
@@ -570,7 +696,8 @@ class RegenerationService:
     def stream(self, request: Union[ConstraintSet, str], relation: str,
                batch_size: int = DEFAULT_BATCH_SIZE,
                start_row: int = 1, stop_row: Optional[int] = None,
-               timeout: Optional[float] = None) -> Iterator[Table]:
+               timeout: Optional[float] = None,
+               tenant: str = DEFAULT_TENANT) -> Iterator[Table]:
         """Stream a relation of a regenerated database in columnar batches.
 
         ``request`` is either a constraint set (resolved — warm or cold — via
@@ -584,16 +711,28 @@ class RegenerationService:
         (or closed/collected): store GC never evicts an entry backing an
         in-flight stream.
         """
+        handed_out = time.perf_counter()
         fingerprint, summary = self._resolve_summary(request, timeout)
         generator = self._generator(fingerprint, relation, summary)
         batches = generator.stream_range(start_row, stop_row, batch_size=batch_size)
+        # Non-current span covering the cursor's whole lifetime (handout to
+        # release): generators cross yields, so it must never leak into the
+        # consumer's contextvar.
+        stream_span = get_tracer().start_span(
+            "service.stream", relation=relation, tenant=tenant,
+            fingerprint=fingerprint[:12])
 
         def count_batch() -> None:
-            with self._lock:
-                self._counters["batches_streamed"] += 1
+            self._counters["batches_streamed"].inc()
+
+        def first_batch() -> None:
+            self._h_ttfb.labels(tenant=tenant).observe(
+                time.perf_counter() - handed_out)
 
         return _PinnedCursor(self.store, fingerprint, batches,
-                             on_batch=count_batch)
+                             on_batch=count_batch,
+                             on_first_batch=first_batch,
+                             on_release=stream_span.finish)
 
     def total_rows(self, request: Union[ConstraintSet, str], relation: str) -> int:
         """Rows the given relation regenerates to (without generating)."""
@@ -698,11 +837,9 @@ class RegenerationService:
 
     def _observe_executor(self, executor: Executor, counter: str) -> None:
         stats = executor.stats
-        with self._lock:
-            self._counters[counter] += 1
-            self._counters["executor_batches"] += stats.batches
-            if stats.peak_batch_rows > self._counters["executor_peak_batch_rows"]:
-                self._counters["executor_peak_batch_rows"] = stats.peak_batch_rows
+        self._counters[counter].inc()
+        self._counters["executor_batches"].inc(stats.batches)
+        self._counters["executor_peak_batch_rows"].set_max(stats.peak_batch_rows)
 
     def _generator(self, fingerprint: str, relation: str,
                    summary: DatabaseSummary) -> TupleGenerator:
@@ -724,8 +861,11 @@ class RegenerationService:
         and survive.  Returns the store's compaction report.
         """
         report = self.store.compact()
-        with self._lock:
-            self._counters["gc_runs"] += 1
+        self._counters["gc_runs"].inc()
+        if report["expired"] or report["evicted"]:
+            logger.info("gc pass: expired=%d evicted=%d reclaimed=%dB",
+                        report["expired"], report["evicted"],
+                        report["reclaimed_bytes"])
         return report
 
     def _gc_loop(self) -> None:
@@ -741,14 +881,18 @@ class RegenerationService:
     def stats(self) -> Dict[str, int]:
         """Serving counters plus the store's and LP solver's own counters.
 
-        Flat ints only (monitoring-friendly); :meth:`service_stats` adds the
-        per-tenant breakdown.
+        Flat ints only (monitoring-friendly), every value read from the
+        metrics registry; :meth:`service_stats` adds the per-tenant
+        breakdown and :attr:`registry` exposes the full labeled series
+        (Prometheus/JSON export).
         """
+        counters = {key: int(family.value())
+                    for key, family in self._counters.items()}
         with self._lock:
-            counters = dict(self._counters)
             counters["queue_depth"] = sum(
                 len(queue) for queue in self._queues.values()
             )
+        self._g_queue_depth.set(counters["queue_depth"])
         # Custom backends need not wrap a solver-carrying pipeline; report
         # zeros rather than crashing the observability path.
         solver = getattr(getattr(self.backend, "pipeline", None), "solver", None)
@@ -761,26 +905,44 @@ class RegenerationService:
         counters.update(self.store.counters())
         return counters
 
+    def _tenant_outcomes(self) -> Dict[str, Dict[str, int]]:
+        """``{tenant: {outcome: count}}`` from the labeled tenant counter."""
+        rows: Dict[str, Dict[str, int]] = {}
+        for child in self._tenant_builds.children():
+            tenant, outcome = child.labelvalues
+            rows.setdefault(tenant, {})[outcome] = int(child.value())
+        return rows
+
     def service_stats(self) -> ServiceStats:
         """Structured telemetry: flat counters plus per-tenant admission rows."""
         counters = self.stats()
+        outcomes = self._tenant_outcomes()
+
+        def quantiles(histogram, name: str) -> Tuple[float, float]:
+            summary = histogram.labels(tenant=name).summary()
+            return summary.get("p50", 0.0), summary.get("p99", 0.0)
+
         with self._lock:
-            names = set(self._tenant_counters) | set(self._queues) \
+            names = set(outcomes) | set(self._queues) \
                 | set(self._running_by_tenant)
-            tenants = tuple(
-                TenantStats(
+            rows = []
+            for name in sorted(names):
+                seen = outcomes.get(name, {})
+                e2e_p50, e2e_p99 = quantiles(self._h_request, name)
+                ttfb_p50, ttfb_p99 = quantiles(self._h_ttfb, name)
+                rows.append(TenantStats(
                     tenant=name,
                     queued=len(self._queues.get(name, ())),
                     running=self._running_by_tenant.get(name, 0),
-                    **self._tenant_counters.get(
-                        name, {"admitted": 0, "rejected": 0,
-                               "completed": 0, "failed": 0},
-                    ),
-                )
-                for name in sorted(names)
-            )
+                    admitted=seen.get("admitted", 0),
+                    rejected=seen.get("rejected", 0),
+                    completed=seen.get("completed", 0),
+                    failed=seen.get("failed", 0),
+                    e2e_p50=e2e_p50, e2e_p99=e2e_p99,
+                    ttfb_p50=ttfb_p50, ttfb_p99=ttfb_p99,
+                ))
             queue_depth = sum(len(queue) for queue in self._queues.values())
-        return ServiceStats(counters=counters, tenants=tenants,
+        return ServiceStats(counters=counters, tenants=tuple(rows),
                             queue_depth=queue_depth)
 
     def close(self, timeout: Optional[float] = None) -> None:
@@ -798,6 +960,7 @@ class RegenerationService:
         if self._gc_thread is not None:
             self._gc_thread.join(timeout=5.0)
         self._executor.shutdown(wait=True)
+        logger.info("service closed (engine=%s)", self.engine)
 
     def __enter__(self) -> "RegenerationService":
         return self

@@ -51,7 +51,12 @@ import numpy as np
 from repro.errors import SummaryStoreError
 from repro.lp.model import LPSolution
 from repro.lp.solver import LRUSolutionCache, SolutionCache
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import span as trace_span, tracing_active
 from repro.summary.relation_summary import DatabaseSummary
+
+logger = get_logger("service.store")
 
 #: On-disk format version; bump on incompatible layout/payload changes.
 STORE_FORMAT = 1
@@ -92,19 +97,30 @@ class SummaryStore:
     ttl_seconds:
         Entries whose last use is older than this are dropped by
         :meth:`compact`.  ``None`` disables expiration.
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` backing the store's
+        ``repro_store_*`` metrics (hit/miss/corruption/GC counters, occupancy
+        gauges, get/put/compact latency histograms).  A private registry is
+        created when omitted; the legacy ``stats`` dict is a read-only view
+        over these counters.
     """
 
     def __init__(self, root: Optional[Union[str, Path]] = None,
                  memory_entries: int = DEFAULT_MEMORY_ENTRIES,
                  max_store_bytes: Optional[int] = None,
                  max_entries: Optional[int] = None,
-                 ttl_seconds: Optional[float] = None) -> None:
+                 ttl_seconds: Optional[float] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         for name, value in (("max_store_bytes", max_store_bytes),
                             ("max_entries", max_entries),
                             ("ttl_seconds", ttl_seconds)):
             if value is not None and value < 0:
                 raise SummaryStoreError(f"{name} must be non-negative (or None)")
         self.root = Path(root) if root is not None else None
+        # Plain-string root for the per-read _touch fast path: building the
+        # sidecar path with os.path.join is several times cheaper than three
+        # chained pathlib joins, and _touch runs on every warm read.
+        self._root_str = str(self.root) if self.root is not None else None
         self.max_store_bytes = max_store_bytes
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
@@ -115,13 +131,32 @@ class SummaryStore:
         )
         self._metas: Dict[str, Dict[str, object]] = {}
         self._lock = threading.Lock()
-        self.stats: Dict[str, int] = {
-            "summary_hits": 0,
-            "summary_misses": 0,
-            "corrupt_entries": 0,
-            "evictions": 0,
-            "expirations": 0,
-        }
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_hits = self.registry.counter(
+            "repro_store_summary_hits_total",
+            "Summary reads served from memory or disk")
+        self._c_misses = self.registry.counter(
+            "repro_store_summary_misses_total",
+            "Summary reads that found no usable entry")
+        self._c_corrupt = self.registry.counter(
+            "repro_store_corrupt_entries_total",
+            "Entries rejected on read (gzip/JSON/shape validation)")
+        self._c_evictions = self.registry.counter(
+            "repro_store_evictions_total",
+            "Entries removed by LRU eviction to the size/entry caps")
+        self._c_expirations = self.registry.counter(
+            "repro_store_expirations_total", "Entries removed by TTL expiry")
+        self._g_bytes = self.registry.gauge(
+            "repro_store_bytes", "Current payload bytes held by the store")
+        self._g_entries = self.registry.gauge(
+            "repro_store_entries", "Current entry counts by kind",
+            labelnames=("kind",))
+        self._h_get = self.registry.histogram(
+            "repro_store_get_seconds", "Latency of get_summary calls")
+        self._h_put = self.registry.histogram(
+            "repro_store_put_seconds", "Latency of put_summary calls")
+        self._h_compact = self.registry.histogram(
+            "repro_store_compact_seconds", "Latency of compact (GC) passes")
         #: Refcounted pins: ``{fingerprint: count}``.  Pinned summaries are
         #: immune to TTL expiration and LRU eviction while the pin is held.
         self._pins: Dict[str, int] = {}
@@ -204,17 +239,22 @@ class SummaryStore:
         # interleave between the ledger update and the sidecar utime.
         with self._lock:
             self._last_used[(kind, key)] = stamp
-            if self.root is None:
+            if self._root_str is None:
                 return
-            touch = self._touch_path(kind, key)
+            # Hot path: the sidecar exists for every entry this store wrote,
+            # so build its path as a plain string (pathlib joins are ~4x the
+            # cost of the utime itself) and fall back to the Path-based
+            # creation branch only when utime fails.
             try:
-                os.utime(touch, (stamp, stamp))
+                os.utime(os.path.join(self._root_str, kind, key[:2],
+                                      key + TOUCH_SUFFIX), (stamp, stamp))
             except OSError:
                 # No sidecar yet (legacy entry) — create one, but only for
                 # an entry that actually exists: resurrecting a sidecar for
                 # an entry another process evicted would leak orphan files.
                 if not self._entry_path(kind, key).exists():
                     return
+                touch = self._touch_path(kind, key)
                 try:
                     touch.parent.mkdir(parents=True, exist_ok=True)
                     touch.touch()
@@ -295,9 +335,30 @@ class SummaryStore:
     # ------------------------------------------------------------------ #
     # summaries
     # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Legacy counter view, now read from the metrics registry."""
+        return {
+            "summary_hits": int(self._c_hits.value()),
+            "summary_misses": int(self._c_misses.value()),
+            "corrupt_entries": int(self._c_corrupt.value()),
+            "evictions": int(self._c_evictions.value()),
+            "expirations": int(self._c_expirations.value()),
+        }
+
     def put_summary(self, fingerprint: str, summary: DatabaseSummary,
                     meta: Optional[Mapping[str, object]] = None) -> None:
         """Persist a summary under its workload fingerprint."""
+        started = time.perf_counter()
+        if tracing_active():
+            with trace_span("store.put", fingerprint=fingerprint[:12]):
+                self._put_summary(fingerprint, summary, meta)
+        else:
+            self._put_summary(fingerprint, summary, meta)
+        self._h_put.observe(time.perf_counter() - started)
+
+    def _put_summary(self, fingerprint: str, summary: DatabaseSummary,
+                     meta: Optional[Mapping[str, object]]) -> None:
         entry_meta = dict(meta or {})
         entry_meta.setdefault("total_rows", int(summary.total_rows()))
         entry_meta.setdefault("nbytes", int(summary.nbytes()))
@@ -327,21 +388,34 @@ class SummaryStore:
         """Serving-path read: ``None`` on miss *and* on corrupted entries
         (counted in ``stats['corrupt_entries']``), so callers fall back to a
         rebuild that overwrites the bad file."""
+        started = time.perf_counter()
+        if tracing_active():
+            with trace_span("store.get", fingerprint=fingerprint[:12]) as span:
+                summary = self._get_summary(fingerprint)
+                span.set_attribute("hit", summary is not None)
+        else:
+            summary = self._get_summary(fingerprint)
+        self._h_get.observe(time.perf_counter() - started)
+        return summary
+
+    def _get_summary(self, fingerprint: str) -> Optional[DatabaseSummary]:
         cached = self._summaries.get(fingerprint)
         if cached is not None:
-            self.stats["summary_hits"] += 1
+            self._c_hits.inc()
             self._touch("summaries", fingerprint)
             return cached  # type: ignore[return-value]
         if self.root is None or not self._entry_path("summaries", fingerprint).exists():
-            self.stats["summary_misses"] += 1
+            self._c_misses.inc()
             return None
         try:
             summary = self.read_summary(fingerprint)
-        except SummaryStoreError:
-            self.stats["corrupt_entries"] += 1
-            self.stats["summary_misses"] += 1
+        except SummaryStoreError as error:
+            self._c_corrupt.inc()
+            self._c_misses.inc()
+            logger.warning("summary entry %s rejected on read: %s",
+                           fingerprint[:12], error)
             return None
-        self.stats["summary_hits"] += 1
+        self._c_hits.inc()
         return summary
 
     def read_summary(self, fingerprint: str) -> DatabaseSummary:
@@ -589,6 +663,20 @@ class SummaryStore:
         Returns a report: entries ``expired`` (TTL), ``evicted`` (caps),
         ``reclaimed_bytes``, and the post-compaction occupancy.
         """
+        started = time.perf_counter()
+        with trace_span("store.compact") as span:
+            report = self._compact(max_store_bytes, max_entries, ttl_seconds, now)
+            span.set_attribute("expired", report["expired"])
+            span.set_attribute("evicted", report["evicted"])
+        self._h_compact.observe(time.perf_counter() - started)
+        if report["expired"] or report["evicted"]:
+            logger.info("compacted store: expired=%d evicted=%d reclaimed=%dB",
+                        report["expired"], report["evicted"],
+                        report["reclaimed_bytes"])
+        return report
+
+    def _compact(self, max_store_bytes: object, max_entries: object,
+                 ttl_seconds: object, now: Optional[float]) -> Dict[str, int]:
         byte_cap = self.max_store_bytes if max_store_bytes is _UNSET else max_store_bytes
         entry_cap = self.max_entries if max_entries is _UNSET else max_entries
         ttl = self.ttl_seconds if ttl_seconds is _UNSET else ttl_seconds
@@ -629,9 +717,8 @@ class SummaryStore:
                 summary_count -= 1
         self._sweep_orphan_touches()
         self._resync_disk_counters()
-        with self._lock:
-            self.stats["expirations"] += expired
-            self.stats["evictions"] += evicted
+        self._c_expirations.inc(expired)
+        self._c_evictions.inc(evicted)
         report = {"expired": expired, "evicted": evicted,
                   "reclaimed_bytes": reclaimed}
         report.update(self.counters())
@@ -680,8 +767,10 @@ class SummaryStore:
                 max_violation=float(payload["max_violation"]),
                 solve_seconds=0.0,
             )
-        except (SummaryStoreError, KeyError, TypeError, ValueError):
-            self.stats["corrupt_entries"] += 1
+        except (SummaryStoreError, KeyError, TypeError, ValueError) as error:
+            self._c_corrupt.inc()
+            logger.warning("component entry %s rejected on read: %s",
+                           key[:12], error)
             return None
         self._touch("components", key)
         return solution
@@ -721,6 +810,9 @@ class SummaryStore:
                 summaries = self._disk_entries["summaries"]
                 components = self._disk_entries["components"]
                 occupancy = self._disk_bytes
+        self._g_bytes.set(occupancy)
+        self._g_entries.labels(kind="summaries").set(summaries)
+        self._g_entries.labels(kind="components").set(components)
         return {
             **self.stats,
             "summaries": summaries,

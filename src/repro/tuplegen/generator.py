@@ -27,6 +27,7 @@ import numpy as np
 from repro.engine.database import Database
 from repro.engine.table import Table
 from repro.errors import GenerationError
+from repro.obs.trace import get_tracer
 from repro.schema.schema import Schema
 from repro.summary.relation_summary import DatabaseSummary, RelationSummary
 
@@ -113,10 +114,30 @@ class TupleGenerator:
 
     def _iter_range(self, start: int, stop_row: int,
                     batch_size: int) -> Iterator[Table]:
-        while start <= stop_row:
-            stop = min(start + batch_size - 1, stop_row)
-            yield self._batch(start, stop)
-            start = stop + 1
+        # The span is started (not entered) so it never becomes the consumer's
+        # *current* span: a cursor's lifetime crosses yields, and leaving the
+        # contextvar set between batches would corrupt the consumer's context.
+        span = get_tracer().start_span(
+            "tuplegen.stream_range", relation=self.summary.relation,
+            start_row=start, stop_row=stop_row)
+        batches = 0
+        try:
+            while start <= stop_row:
+                stop = min(start + batch_size - 1, stop_row)
+                yield self._batch(start, stop)
+                batches += 1
+                start = stop + 1
+        except GeneratorExit:
+            span.set_attribute("batches", batches)
+            span.set_attribute("closed_early", True)
+            span.finish()
+            raise
+        except BaseException as error:
+            span.set_attribute("batches", batches)
+            span.finish(error)
+            raise
+        span.set_attribute("batches", batches)
+        span.finish()
 
     def _batch(self, start: int, stop: int) -> Table:
         """Build the batch of tuples with primary keys ``start..stop``

@@ -1,0 +1,162 @@
+"""Observability drift checks (run by the CI ``docs`` job and tier-1 tests).
+
+Three guarantees, failing the build on drift:
+
+1. **No bare output** — no ``print()`` call anywhere under ``src/repro/``
+   outside the CLI front-ends (``cli.py`` and ``__main__.py`` modules):
+   library code reports through the ``repro.*`` loggers so embedding
+   applications keep full control of the output.
+2. **Namespaced loggers** — every ``logging.getLogger("literal")`` call
+   names ``repro`` or a ``repro.*`` child (``getLogger(__name__)`` and
+   :func:`repro.obs.get_logger` are fine by construction), so one switch
+   silences or redirects the whole library.
+3. **Catalogue completeness** — the metric names registered through
+   ``.counter("...")`` / ``.gauge("...")`` / ``.histogram("...")`` calls
+   and the catalogue table in ``docs/OBSERVABILITY.md`` match exactly, in
+   both directions.  Registration names must be inline string literals
+   (never aliased through a variable) precisely so this check can see
+   them.
+
+Usage::
+
+    python tools/check_obs.py          # exit 0 when clean, 1 with findings
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules allowed to ``print()``: the command-line front-ends.
+PRINT_EXEMPT = ("cli.py", "__main__.py")
+
+#: Method names whose first literal argument registers a metric family.
+METRIC_FACTORIES = ("counter", "gauge", "histogram")
+
+#: A catalogue table row: ``| `repro_...` | kind | labels | meaning |``.
+CATALOGUE_ROW = re.compile(r"^\|\s*`(repro_[a-z0-9_]+)`\s*\|", re.MULTILINE)
+
+
+def _iter_sources(src_root: Path) -> List[Path]:
+    return sorted(src_root.rglob("*.py"))
+
+
+def _check_tree(path: Path, tree: ast.AST,
+                metrics: Dict[str, List[Tuple[Path, int]]],
+                findings: List[str]) -> None:
+    """Collect metric registrations and print/logger violations of one file."""
+    rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+    exempt_print = path.name in PRINT_EXEMPT
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # -- bare print() --------------------------------------------- #
+        if (isinstance(func, ast.Name) and func.id == "print"
+                and not exempt_print):
+            findings.append(
+                f"{rel}:{node.lineno}: bare print() in library code — log"
+                " through repro.obs.get_logger() instead"
+            )
+        # -- logger namespace ----------------------------------------- #
+        if (isinstance(func, ast.Attribute) and func.attr == "getLogger"
+                and node.args and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)):
+            name = node.args[0].value
+            if name != "repro" and not name.startswith("repro."):
+                findings.append(
+                    f"{rel}:{node.lineno}: logger {name!r} outside the"
+                    " repro.* namespace"
+                )
+        # -- metric registrations -------------------------------------- #
+        if isinstance(func, ast.Attribute) and func.attr in METRIC_FACTORIES:
+            if (node.args and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith("repro_")):
+                metrics.setdefault(node.args[0].value, []).append(
+                    (rel, node.lineno))
+            elif _receiver_is_registry(func.value):
+                findings.append(
+                    f"{rel}:{node.lineno}: metric name passed to"
+                    f" .{func.attr}() must be an inline 'repro_*' string"
+                    " literal so this lint can match it against the"
+                    " catalogue"
+                )
+
+
+def _receiver_is_registry(node: ast.AST) -> bool:
+    """``registry.counter(...)`` / ``self.registry.gauge(...)`` receivers."""
+    if isinstance(node, ast.Name):
+        return node.id.endswith("registry")
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith("registry")
+    return False
+
+
+def check_sources(src_root: Path) -> Tuple[Dict[str, List[Tuple[Path, int]]],
+                                           List[str]]:
+    """Walk the tree; return registered metric names and style findings."""
+    metrics: Dict[str, List[Tuple[Path, int]]] = {}
+    findings: List[str] = []
+    for path in _iter_sources(src_root):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as error:  # pragma: no cover - tier-1 catches it
+            findings.append(f"{path}: does not parse: {error}")
+            continue
+        _check_tree(path, tree, metrics, findings)
+    return metrics, findings
+
+
+def catalogue_names(doc_path: Path) -> Set[str]:
+    """Metric names documented in the OBSERVABILITY.md catalogue table."""
+    return set(CATALOGUE_ROW.findall(doc_path.read_text(encoding="utf-8")))
+
+
+def check_catalogue(metrics: Dict[str, List[Tuple[Path, int]]],
+                    documented: Set[str]) -> List[str]:
+    """Cross-check code registrations against the docs, both directions."""
+    findings: List[str] = []
+    for name in sorted(set(metrics) - documented):
+        where = ", ".join(f"{path}:{line}" for path, line in metrics[name])
+        findings.append(
+            f"metric {name} is registered ({where}) but missing from the"
+            " docs/OBSERVABILITY.md catalogue"
+        )
+    for name in sorted(documented - set(metrics)):
+        findings.append(
+            f"metric {name} is documented in docs/OBSERVABILITY.md but"
+            " registered nowhere under src/repro"
+        )
+    return findings
+
+
+def run(src_root: Path, doc_path: Path) -> List[str]:
+    """All observability checks; returns the (possibly empty) findings."""
+    metrics, findings = check_sources(src_root)
+    if not doc_path.is_file():
+        findings.append(f"{doc_path}: metric catalogue document is missing")
+        return findings
+    findings.extend(check_catalogue(metrics, catalogue_names(doc_path)))
+    return findings
+
+
+def main() -> int:
+    findings = run(REPO_ROOT / "src" / "repro",
+                   REPO_ROOT / "docs" / "OBSERVABILITY.md")
+    for finding in findings:
+        print(f"check_obs: {finding}")
+    if findings:
+        print(f"check_obs: {len(findings)} finding(s)")
+        return 1
+    print("check_obs: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
