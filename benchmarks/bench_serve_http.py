@@ -1,0 +1,127 @@
+"""HTTP serving throughput: N concurrent clients against a warm store.
+
+Not a paper figure — this benchmark guards the network front-end the
+regenerate-on-demand loop serves through: concurrent clients POST the warm
+workload (zero LP solves) and stream disjoint NDJSON shards of the largest
+relation, recording warm-summarize and stream latency quantiles plus
+end-to-end tuple throughput across the socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from conftest import QUICK
+
+from repro.server import RegenerationServer, constraint_set_to_wire
+from repro.service.service import RegenerationService
+
+CLIENTS = 4 if QUICK else 12
+ROUNDS = 3 if QUICK else 8
+
+
+def quantile(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def test_serve_http_concurrent_clients(tmp_path, tpcds_env, bench):
+    schema, ccs = tpcds_env["schema"], tpcds_env["wls"]
+    store = str(tmp_path / "store")
+    with RegenerationService(schema, store=store) as builder:
+        summary = builder.summarize(ccs, timeout=600)
+        fingerprint = builder.fingerprint(ccs)
+    relation = max(summary.relations,
+                   key=lambda name: summary.relation(name).total_rows())
+    total_rows = summary.relation(relation).total_rows()
+
+    # A fresh service: its registry must stay at zero LP solves throughout.
+    service = RegenerationService(schema, store=store)
+    server = RegenerationServer(service, max_connections=2 * CLIENTS).start()
+    url = server.url
+    wire_body = json.dumps(
+        {"workload": constraint_set_to_wire(ccs)}).encode("utf-8")
+
+    summarize_latencies: list = []
+    stream_latencies: list = []
+    rows_streamed = [0]
+    failures: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS)
+
+    def client(index: int) -> None:
+        try:
+            barrier.wait(timeout=60)
+            for round_number in range(ROUNDS):
+                started = time.perf_counter()
+                request = urllib.request.Request(
+                    url + "/v1/summarize", data=wire_body,
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=120) as response:
+                    payload = json.loads(response.read())
+                summarize_seconds = time.perf_counter() - started
+                assert payload["warm"] is True
+                assert payload["fingerprint"] == fingerprint
+
+                started = time.perf_counter()
+                shard = f"{index + 1}/{CLIENTS}"
+                with urllib.request.urlopen(
+                        f"{url}/v1/stream/{fingerprint}/{relation}"
+                        f"?shard={shard}&batch_size=4096",
+                        timeout=120) as response:
+                    lines = response.read().count(b"\n")
+                stream_seconds = time.perf_counter() - started
+                with lock:
+                    summarize_latencies.append(summarize_seconds)
+                    stream_latencies.append(stream_seconds)
+                    rows_streamed[0] += lines
+        except Exception as error:  # surfaced after join
+            with lock:
+                failures.append(f"client {index}: {error!r}")
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(CLIENTS)]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall_seconds = time.perf_counter() - wall_started
+    server.shutdown()
+
+    assert not failures, failures
+    # Every round covers the relation exactly once across the client shards.
+    assert rows_streamed[0] == ROUNDS * total_rows
+    stats = service.stats()
+    assert stats["solver_components_solved"] == 0
+    assert stats["pipeline_runs"] == 0
+    assert stats["hits"] == CLIENTS * ROUNDS
+    service.close()
+
+    tuples_per_second = rows_streamed[0] / wall_seconds
+    bench.record_seconds("warm_summarize_p50_seconds",
+                         quantile(summarize_latencies, 0.50))
+    bench.record_seconds("warm_summarize_p99_seconds",
+                         quantile(summarize_latencies, 0.99))
+    bench.record_seconds("stream_p50_seconds",
+                         quantile(stream_latencies, 0.50))
+    bench.record_seconds("stream_p99_seconds",
+                         quantile(stream_latencies, 0.99))
+    bench.record("tuples_per_second", tuples_per_second, unit="tuples/s",
+                 direction="higher", tolerance=0.50)
+    bench.record("rows_streamed", float(rows_streamed[0]), unit="rows",
+                 direction="info")
+
+    print(f"\n[serve http] {CLIENTS} clients x {ROUNDS} rounds against warm"
+          f" {relation} ({total_rows:,} rows/round, zero LP solves)")
+    print(f"  summarize p50/p99:"
+          f" {quantile(summarize_latencies, 0.5) * 1e3:.1f}ms /"
+          f" {quantile(summarize_latencies, 0.99) * 1e3:.1f}ms")
+    print(f"  stream    p50/p99:"
+          f" {quantile(stream_latencies, 0.5) * 1e3:.1f}ms /"
+          f" {quantile(stream_latencies, 0.99) * 1e3:.1f}ms")
+    print(f"  {rows_streamed[0]:,} tuples in {wall_seconds:.2f}s ->"
+          f" {tuples_per_second:,.0f} tuples/s over HTTP")

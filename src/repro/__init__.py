@@ -56,6 +56,7 @@ from repro.metrics import (
 )
 from repro.predicates import Conjunct, DNFPredicate, Interval, IntervalSet, col
 from repro.schema import Attribute, ForeignKey, Relation, Schema
+from repro.server import RegenerationServer
 from repro.service import (
     RegenerationService,
     ServiceStats,
@@ -127,6 +128,7 @@ __all__ = [
     "materialize_database",
     "dynamic_database",
     # serving
+    "RegenerationServer",
     "RegenerationService",
     "ServiceStats",
     "TenantStats",

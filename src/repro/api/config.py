@@ -68,7 +68,14 @@ class RegenConfig:
 
     Store lifecycle knobs (also never fingerprinted — they bound the store,
     not the artefacts): ``max_store_bytes``, ``max_entries``,
-    ``ttl_seconds``, ``gc_interval``.
+    ``ttl_seconds``, ``gc_interval``, ``cursor_idle_timeout``.
+
+    HTTP serving knobs (never fingerprinted — they shape the network
+    front-end, not the artefacts): ``listen_host`` / ``listen_port`` are the
+    default bind address of ``serve --listen`` (port ``0`` binds an
+    ephemeral port); ``max_connections`` caps concurrently in-flight HTTP
+    requests (excess answered 503); ``request_timeout`` is the per-request
+    socket/wait bound of the server.
 
     Observability knobs (never fingerprinted — they change what is
     *recorded*, not what is produced): ``obs_enabled`` switches the
@@ -102,11 +109,17 @@ class RegenConfig:
     max_workers: int = 2
     max_pending: Optional[int] = None
     max_pending_per_tenant: Optional[int] = None
+    # -- HTTP front-end knobs ------------------------------------------ #
+    listen_host: str = "127.0.0.1"
+    listen_port: int = 0
+    max_connections: int = 64
+    request_timeout: float = 30.0
     # -- store lifecycle knobs ----------------------------------------- #
     max_store_bytes: Optional[int] = None
     max_entries: Optional[int] = None
     ttl_seconds: Optional[float] = None
     gc_interval: Optional[float] = None
+    cursor_idle_timeout: Optional[float] = None
     # -- observability knobs ------------------------------------------- #
     obs_enabled: bool = True
     trace_sample: float = 0.0
@@ -137,6 +150,14 @@ class RegenConfig:
                 raise ConfigError(f"{knob} must be non-negative (or None)")
         if self.gc_interval is not None and self.gc_interval <= 0:
             raise ConfigError("gc_interval must be positive (or None)")
+        if self.cursor_idle_timeout is not None and self.cursor_idle_timeout <= 0:
+            raise ConfigError("cursor_idle_timeout must be positive (or None)")
+        if not 0 <= self.listen_port <= 65535:
+            raise ConfigError("listen_port must be within [0, 65535]")
+        if self.max_connections < 1:
+            raise ConfigError("max_connections must be at least 1")
+        if self.request_timeout <= 0:
+            raise ConfigError("request_timeout must be positive")
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ConfigError("trace_sample must be within [0, 1]")
         from repro.obs.logging import LOG_FORMATS

@@ -11,9 +11,12 @@ passing the same flags compute the same store fingerprint):
   stream) its relations, optionally at a different ``--scale-factor``;
 * ``verify``     — run the full loop (extract → summarize → regenerate →
   verify) and print the volumetric-similarity report;
-* ``serve``      — stream a relation through the serving front-end
+* ``serve``      — stream a relation through the serving front-end, or,
+  with ``--listen HOST:PORT``, run the HTTP front-end
+  (:class:`repro.server.RegenerationServer`) until SIGTERM/SIGINT
   (``--require-warm`` exits :data:`EXIT_NOT_WARM` if the request is not
-  already stored — the CI smoke job's cross-process zero-solve assertion);
+  already stored — before binding the socket in ``--listen`` mode — the
+  CI smoke job's cross-process zero-solve assertion);
 * ``stats``      — print store counters (``--entries`` lists the stored
   summaries, replacing ``repro.service inspect``; ``--tenants`` adds the
   per-tenant admission telemetry note; ``--metrics``/``--prometheus``/
@@ -33,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from typing import List, Optional, Tuple
 
 from repro.api.backends import available_backends
@@ -66,6 +70,9 @@ def _session(args: argparse.Namespace, schema: Schema) -> Session:
         engine=args.engine, workers=args.workers,
         trace_sample=getattr(args, "trace_sample", 0.0),
         log_format=getattr(args, "log_format", "text"),
+        max_connections=getattr(args, "max_connections", 64),
+        request_timeout=getattr(args, "request_timeout", 30.0),
+        cursor_idle_timeout=getattr(args, "cursor_idle_timeout", None),
     )
     return Session(schema, config=config, store=getattr(args, "store", None))
 
@@ -150,7 +157,86 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_listen(spec: str) -> Tuple[str, int]:
+    """Parse ``HOST:PORT`` (an empty host keeps the config default)."""
+    host, sep, port_text = spec.rpartition(":")
+    try:
+        if not sep:
+            raise ValueError("missing ':'")
+        port = int(port_text)
+        if not 0 <= port <= 65535:
+            raise ValueError(f"port {port} out of range")
+    except ValueError as error:
+        raise ServiceError(
+            f"bad --listen {spec!r} (want HOST:PORT): {error}") from None
+    return host, port
+
+
+def _cmd_serve_listen(args: argparse.Namespace) -> int:
+    """``serve --listen``: run the HTTP front-end until SIGTERM/SIGINT."""
+    import signal
+
+    from repro.server import RegenerationServer
+
+    host, port = _parse_listen(args.listen)
+    if args.fingerprint is not None:
+        # Serving stored fingerprints needs no client database or workload
+        # re-derivation — only the schema shape.
+        from repro.benchdata.tpcds import tpcds_schema
+
+        schema, constraints = tpcds_schema(scale_factor=args.scale), None
+    else:
+        schema, constraints, _, _ = _benchmark_environment(args)
+    session = _session(args, schema)
+    with session.serve() as service:
+        config = service.config
+        fingerprint = args.fingerprint or service.fingerprint(constraints)
+        warm = service.store.has_summary(fingerprint)
+        if args.require_warm and not warm:
+            # Refuse before binding the socket: a cold --require-warm server
+            # would answer 409 to everything it exists to serve.
+            print(f"fingerprint={fingerprint} is not in the store; refusing"
+                  " to serve --require-warm", file=sys.stderr)
+            return EXIT_NOT_WARM
+        server = RegenerationServer(
+            service,
+            host or config.listen_host, port,
+            max_connections=config.max_connections,
+            request_timeout=config.request_timeout,
+            require_warm=args.require_warm,
+            default_batch_size=args.batch_size,
+        )
+        # serve_forever() occupies this thread, and httpd.shutdown() blocks
+        # until that loop exits — so the signal handler must trigger the
+        # drain from a helper thread or it would deadlock the process.
+        shutdown_threads: List[threading.Thread] = []
+
+        def _handle_signal(signum: int, frame: object) -> None:
+            thread = threading.Thread(target=server.shutdown,
+                                      name="repro-http-shutdown", daemon=True)
+            shutdown_threads.append(thread)
+            thread.start()
+
+        signal.signal(signal.SIGTERM, _handle_signal)
+        signal.signal(signal.SIGINT, _handle_signal)
+        print(f"listening on http://{server.host}:{server.port}"
+              f" fingerprint={fingerprint} warm={warm}"
+              f" require_warm={args.require_warm}", flush=True)
+        server.serve_forever()
+        for thread in shutdown_threads:
+            thread.join()
+        _print_stats(service)
+        _print_tenants(service)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.listen is not None:
+        return _cmd_serve_listen(args)
+    if args.relation is None:
+        print("serve: --relation is required without --listen",
+              file=sys.stderr)
+        return 2
     if args.fingerprint is not None:
         # Serving a stored fingerprint needs no client database or workload
         # re-derivation — only the schema shape.
@@ -344,17 +430,36 @@ def build_parser() -> argparse.ArgumentParser:
     verify.set_defaults(func=_cmd_verify)
 
     serve = sub.add_parser(
-        "serve", help="stream a relation through the serving front-end")
+        "serve", help="stream a relation through the serving front-end, or"
+                      " run the HTTP front-end with --listen")
     serve.add_argument("--store", required=True, help="store directory")
     add_env(serve)
-    serve.add_argument("--relation", required=True)
+    serve.add_argument("--relation", default=None,
+                       help="relation to stream (required without --listen)")
     serve.add_argument("--fingerprint", default=None,
                        help="serve this stored fingerprint instead of"
                             " recomputing it from the benchmark flags")
     serve.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
     serve.add_argument("--max-batches", type=int, default=None)
     serve.add_argument("--require-warm", action="store_true",
-                       help="exit non-zero instead of running the pipeline")
+                       help="exit non-zero instead of running the pipeline"
+                            " (with --listen: refuse cold workloads with"
+                            " 409)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="run the HTTP front-end on this address until"
+                            " SIGTERM (port 0 binds an ephemeral port,"
+                            " printed on startup)")
+    serve.add_argument("--max-connections", type=int, default=64,
+                       dest="max_connections",
+                       help="HTTP requests allowed in flight at once"
+                            " (excess answered 503)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       dest="request_timeout",
+                       help="per-request socket/wait bound in seconds")
+    serve.add_argument("--cursor-idle-timeout", type=float, default=None,
+                       dest="cursor_idle_timeout",
+                       help="reap stream cursors (and release their store"
+                            " pins) after this many idle seconds")
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="print store counters")

@@ -1,0 +1,38 @@
+"""HTTP serving front-end: :class:`RegenerationServer` over a real socket.
+
+The package splits into the server proper (:mod:`repro.server.http`) and
+the wire formats it speaks (:mod:`repro.server.wire`): the JSON workload
+encoding whose round trip is fingerprint-exact, and the per-row NDJSON
+tuple encoding whose sharded concatenation is byte-identical to the whole
+relation.  ``python -m repro serve --listen HOST:PORT`` is the CLI door.
+"""
+
+from repro.server.http import (
+    NDJSON_CONTENT_TYPE,
+    PARENT_SPAN_HEADER,
+    TRACE_HEADER,
+    RegenerationServer,
+)
+from repro.server.wire import (
+    WIRE_VERSION,
+    WireFormatError,
+    constraint_set_from_wire,
+    constraint_set_to_wire,
+    ndjson_batch,
+    parse_shard,
+    shard_bounds,
+)
+
+__all__ = [
+    "NDJSON_CONTENT_TYPE",
+    "PARENT_SPAN_HEADER",
+    "TRACE_HEADER",
+    "RegenerationServer",
+    "WIRE_VERSION",
+    "WireFormatError",
+    "constraint_set_from_wire",
+    "constraint_set_to_wire",
+    "ndjson_batch",
+    "parse_shard",
+    "shard_bounds",
+]

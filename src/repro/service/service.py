@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -129,8 +130,11 @@ class _PinnedCursor:
     The pin is taken *eagerly* at construction — before the caller ever
     iterates — so there is no window in which GC could evict the entry
     backing a handed-out stream.  It is released exactly once: on
-    exhaustion, on error, on :meth:`close`, or when the cursor is garbage
-    collected (an abandoned, never-iterated cursor cannot leak its pin).
+    exhaustion, on error, on :meth:`close`, when the service's idle-cursor
+    reaper claims an abandoned cursor (:meth:`reap_if_idle`), or when the
+    cursor is garbage collected (an abandoned, never-iterated cursor cannot
+    leak its pin even with no reaper configured).  Release is thread-safe:
+    the reaper runs on its own thread while a consumer may be mid-iteration.
     """
 
     def __init__(self, store: SummaryStore, fingerprint: str,
@@ -144,25 +148,56 @@ class _PinnedCursor:
         self._on_batch = on_batch
         self._on_first_batch = on_first_batch
         self._on_release = on_release
+        self._lock = threading.Lock()
+        self._reaped = False
+        self.last_used = time.monotonic()
         self._pinned = True
         store.pin(fingerprint)
 
     def _release(self) -> None:
-        if self._pinned:
+        with self._lock:
+            if not self._pinned:
+                return
             self._pinned = False
-            self._store.unpin(self._fingerprint)
-            if self._on_release is not None:
-                self._on_release()
+        self._store.unpin(self._fingerprint)
+        if self._on_release is not None:
+            self._on_release()
+
+    def reap_if_idle(self, now: float, idle_seconds: float) -> bool:
+        """Release the pin if the cursor sat unused for ``idle_seconds``.
+
+        Called by the service's reaper thread.  A reaped cursor keeps any
+        batch the consumer already holds valid (batches are plain tables),
+        but its next ``__next__`` raises :class:`ServiceError` — a consumer
+        that merely stalled gets a clear error instead of streaming from an
+        entry GC may since have evicted.
+        """
+        with self._lock:
+            if not self._pinned or now - self.last_used < idle_seconds:
+                return False
+            self._reaped = True
+            self._pinned = False
+        self._store.unpin(self._fingerprint)
+        if self._on_release is not None:
+            self._on_release()
+        return True
 
     def __iter__(self) -> "_PinnedCursor":
         return self
 
     def __next__(self) -> Table:
+        if self._reaped:
+            raise ServiceError(
+                "stream cursor was reaped after sitting idle; re-open the"
+                " stream"
+            )
+        self.last_used = time.monotonic()
         try:
             batch = next(self._batches)
         except BaseException:  # StopIteration included: cursor is done
             self._release()
             raise
+        self.last_used = time.monotonic()
         if self._on_first_batch is not None:
             self._on_first_batch()
             self._on_first_batch = None
@@ -295,6 +330,14 @@ class RegenerationService:
         :meth:`SummaryStore.compact` with the store's configured caps.
         ``None`` falls back to the config, whose default disables the
         thread; :meth:`gc` always works on demand.
+    cursor_idle_timeout:
+        Idle bound (seconds) after which an abandoned stream cursor's store
+        pin is reclaimed by a background reaper thread — the backstop for
+        network consumers that die without closing their cursor (a dead
+        HTTP client's socket thread may otherwise park a pin until GC
+        happens to collect the cursor).  ``None`` falls back to the config,
+        whose default disables the reaper; :meth:`reap_idle_cursors` always
+        works on demand.
     """
 
     def __init__(self, schema: Schema,
@@ -305,7 +348,8 @@ class RegenerationService:
                  max_pending: Optional[int] = None,
                  max_pending_per_tenant: Optional[int] = None,
                  tenant_weights: Optional[Mapping[str, int]] = None,
-                 gc_interval: Optional[float] = None) -> None:
+                 gc_interval: Optional[float] = None,
+                 cursor_idle_timeout: Optional[float] = None) -> None:
         if max_workers < 1:
             raise ServiceError("RegenerationService needs at least one worker")
         if max_pending is not None and max_pending < 0:
@@ -366,6 +410,9 @@ class RegenerationService:
         self.tenant_weights: Dict[str, int] = dict(tenant_weights or {})
         self.gc_interval = gc_interval if gc_interval is not None \
             else self.config.gc_interval
+        self.cursor_idle_timeout = cursor_idle_timeout \
+            if cursor_idle_timeout is not None \
+            else self.config.cursor_idle_timeout
         self._max_workers = max_workers
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="regen"
@@ -375,6 +422,10 @@ class RegenerationService:
         self._closed = False
         self._flights: Dict[str, _Flight] = {}
         self._generators: Dict[Tuple[str, str], TupleGenerator] = {}
+        # Every handed-out stream cursor, weakly held: the reaper can reach
+        # abandoned cursors without keeping them alive (a strong reference
+        # would defeat the `__del__` GC backstop when no reaper runs).
+        self._cursors: "weakref.WeakSet[_PinnedCursor]" = weakref.WeakSet()
         # Fair admission queue state: FIFO per tenant, dispatched weighted
         # round-robin whenever a worker slot frees up.
         self._queues: Dict[str, Deque[_QueuedBuild]] = {}
@@ -416,6 +467,9 @@ class RegenerationService:
             "batches_streamed": self.registry.counter(
                 "repro_service_batches_streamed_total",
                 "Tuple batches handed to streaming consumers"),
+            "cursors_reaped": self.registry.counter(
+                "repro_service_cursors_reaped_total",
+                "Idle stream cursors whose store pin the reaper reclaimed"),
             # executor memory telemetry (regenerate-then-verify paths)
             "workloads_executed": self.registry.counter(
                 "repro_service_workloads_executed_total",
@@ -450,6 +504,13 @@ class RegenerationService:
                 target=self._gc_loop, name="regen-gc", daemon=True
             )
             self._gc_thread.start()
+        self._reaper_stop = threading.Event()
+        self._reaper_thread: Optional[threading.Thread] = None
+        if self.cursor_idle_timeout is not None and self.cursor_idle_timeout > 0:
+            self._reaper_thread = threading.Thread(
+                target=self._reaper_loop, name="regen-reaper", daemon=True
+            )
+            self._reaper_thread.start()
 
     # ------------------------------------------------------------------ #
     # request front-end
@@ -729,10 +790,12 @@ class RegenerationService:
             self._h_ttfb.labels(tenant=tenant).observe(
                 time.perf_counter() - handed_out)
 
-        return _PinnedCursor(self.store, fingerprint, batches,
-                             on_batch=count_batch,
-                             on_first_batch=first_batch,
-                             on_release=stream_span.finish)
+        cursor = _PinnedCursor(self.store, fingerprint, batches,
+                               on_batch=count_batch,
+                               on_first_batch=first_batch,
+                               on_release=stream_span.finish)
+        self._cursors.add(cursor)
+        return cursor
 
     def total_rows(self, request: Union[ConstraintSet, str], relation: str) -> int:
         """Rows the given relation regenerates to (without generating)."""
@@ -784,10 +847,12 @@ class RegenerationService:
 
             def stream_factory(generator: TupleGenerator = generator,
                                ) -> Iterator[Table]:
-                return _PinnedCursor(
+                cursor = _PinnedCursor(
                     self.store, fingerprint,
                     generator.stream(batch_size=batch_size),
                 )
+                self._cursors.add(cursor)
+                return cursor
 
             database.attach_stream(relation, stream_factory,
                                    row_count=generator.total_rows)
@@ -876,6 +941,41 @@ class RegenerationService:
                 pass
 
     # ------------------------------------------------------------------ #
+    # idle-cursor reaping
+    # ------------------------------------------------------------------ #
+    def reap_idle_cursors(self, idle_seconds: Optional[float] = None) -> int:
+        """Release the store pins of stream cursors idle past the bound.
+
+        ``idle_seconds`` defaults to the service's ``cursor_idle_timeout``
+        (when that is ``None`` and no override is given, this is a no-op).
+        Returns the number of cursors reaped.  Safe against concurrent
+        consumers: a cursor that resumes iterating after being reaped gets
+        a :class:`ServiceError`, never a stale pin.
+        """
+        limit = self.cursor_idle_timeout if idle_seconds is None \
+            else idle_seconds
+        if limit is None or limit <= 0:
+            return 0
+        now = time.monotonic()
+        reaped = sum(1 for cursor in list(self._cursors)
+                     if cursor.reap_if_idle(now, limit))
+        if reaped:
+            self._counters["cursors_reaped"].inc(reaped)
+            logger.info("reaped %d stream cursor(s) idle > %.1fs",
+                        reaped, limit)
+        return reaped
+
+    def _reaper_loop(self) -> None:
+        # Wake a few times per timeout so reclamation lag stays a fraction
+        # of the knob, without busy-polling for long timeouts.
+        interval = max(0.05, min(1.0, self.cursor_idle_timeout / 4.0))
+        while not self._reaper_stop.wait(interval):
+            try:
+                self.reap_idle_cursors()
+            except Exception:  # pragma: no cover - must never kill serving
+                pass
+
+    # ------------------------------------------------------------------ #
     # observability / lifecycle
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
@@ -959,6 +1059,9 @@ class RegenerationService:
         self._gc_stop.set()
         if self._gc_thread is not None:
             self._gc_thread.join(timeout=5.0)
+        self._reaper_stop.set()
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=5.0)
         self._executor.shutdown(wait=True)
         logger.info("service closed (engine=%s)", self.engine)
 
