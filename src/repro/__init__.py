@@ -33,6 +33,15 @@ from repro.api import (
     available_backends,
     register_backend,
 )
+from repro.cluster import (
+    DiskBackend,
+    HashRing,
+    ReplicatedStore,
+    ShardedStore,
+    StoreBackend,
+    StoreServer,
+    open_store,
+)
 from repro.benchdata import (
     complex_workload,
     generate_database,
@@ -135,6 +144,14 @@ __all__ = [
     "Ticket",
     "SummaryStore",
     "workload_fingerprint",
+    # cluster
+    "StoreBackend",
+    "DiskBackend",
+    "StoreServer",
+    "ReplicatedStore",
+    "ShardedStore",
+    "HashRing",
+    "open_store",
     # metrics
     "SimilarityReport",
     "evaluate_on_database",

@@ -75,7 +75,17 @@ class RegenConfig:
     default bind address of ``serve --listen`` (port ``0`` binds an
     ephemeral port); ``max_connections`` caps concurrently in-flight HTTP
     requests (excess answered 503); ``request_timeout`` is the per-request
-    socket/wait bound of the server.
+    socket/wait bound of the server; ``max_request_bytes`` caps the request
+    body the HTTP front-ends accept (oversized POSTs answered 413).
+
+    Cluster knobs (never fingerprinted — they place the store, not the
+    artefacts): ``store_url`` mounts the store as a
+    :class:`~repro.cluster.replica.ReplicatedStore` follower of the leader
+    at that URL; ``store_peers`` (comma-separated URLs) shards fingerprints
+    across one replicated group per peer
+    (:class:`~repro.cluster.sharded.ShardedStore`); ``store_role`` declares
+    the node's intent (``"auto"`` | ``"leader"`` | ``"follower"`` — a
+    follower requires a ``store_url`` to follow).
 
     Observability knobs (never fingerprinted — they change what is
     *recorded*, not what is produced): ``obs_enabled`` switches the
@@ -114,6 +124,11 @@ class RegenConfig:
     listen_port: int = 0
     max_connections: int = 64
     request_timeout: float = 30.0
+    max_request_bytes: int = 64 * 1024 * 1024
+    # -- cluster knobs -------------------------------------------------- #
+    store_url: Optional[str] = None
+    store_role: str = "auto"
+    store_peers: Optional[str] = None
     # -- store lifecycle knobs ----------------------------------------- #
     max_store_bytes: Optional[int] = None
     max_entries: Optional[int] = None
@@ -158,6 +173,24 @@ class RegenConfig:
             raise ConfigError("max_connections must be at least 1")
         if self.request_timeout <= 0:
             raise ConfigError("request_timeout must be positive")
+        if self.max_request_bytes < 1:
+            raise ConfigError("max_request_bytes must be at least 1")
+        if self.store_role not in ("auto", "leader", "follower"):
+            raise ConfigError(
+                f"unknown store_role {self.store_role!r};"
+                " expected 'auto', 'leader' or 'follower'"
+            )
+        if self.store_url and self.store_peers:
+            raise ConfigError(
+                "store_url and store_peers are mutually exclusive;"
+                " peers already name every leader"
+            )
+        if self.store_role == "follower" and not (self.store_url
+                                                  or self.store_peers):
+            raise ConfigError(
+                "store_role='follower' needs a store_url (or store_peers)"
+                " to follow"
+            )
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ConfigError("trace_sample must be within [0, 1]")
         from repro.obs.logging import LOG_FORMATS

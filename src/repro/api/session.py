@@ -163,18 +163,21 @@ class Session:
             get_tracer().configure(sample=self.config.trace_sample)
         if self.config.log_format == "json":
             configure_logging(log_format="json")
-        if store is not None and not hasattr(store, "get_summary"):
-            from repro.service.store import SummaryStore
+        if store is None and (self.config.store_url or self.config.store_peers):
+            # Cluster knobs without an explicit store: mount the network
+            # backend with a memory-only local replica.
+            from repro.cluster.factory import open_store
 
-            # A path-opened store inherits the session's lifecycle caps so
-            # `Session` and `Session.serve()` GC with the same policy.
-            store = SummaryStore(
-                store,
-                max_store_bytes=self.config.max_store_bytes,
-                max_entries=self.config.max_entries,
-                ttl_seconds=self.config.ttl_seconds,
-                registry=self.registry,
-            )
+            store = open_store(None, config=self.config, registry=self.registry)
+        elif store is not None and not hasattr(store, "get_summary"):
+            from repro.cluster.factory import open_store
+
+            # A path opens whichever backend the config's cluster knobs ask
+            # for (plain disk by default) and inherits the session's
+            # lifecycle caps, so `Session` and `Session.serve()` GC with the
+            # same policy.
+            store = open_store(store, config=self.config,
+                               registry=self.registry)
         self.store = store
         self._backends: Dict[str, PipelineBackend] = {}
 

@@ -21,7 +21,14 @@ passing the same flags compute the same store fingerprint):
   summaries, replacing ``repro.service inspect``; ``--tenants`` adds the
   per-tenant admission telemetry note; ``--metrics``/``--prometheus``/
   ``--json`` export the full :mod:`repro.obs` metrics registry as a flat
-  snapshot, Prometheus text exposition, or machine-readable JSON);
+  snapshot, Prometheus text exposition, or machine-readable JSON;
+  ``--url http://host:port`` fetches ``/v1/stats`` / ``/metrics`` from a
+  running server instead of opening a directory);
+* ``store``      — the replicated store fleet (see ``docs/CLUSTER.md``):
+  ``store serve`` runs a directory as a replication *leader*
+  (:class:`repro.cluster.StoreServer`), ``store replicate`` tails a leader
+  into a local replica (:class:`repro.cluster.ReplicatedStore`), ``store
+  status`` prints a leader's health, change-log offsets and counters;
 * ``trace``      — run one traced submit → result → stream request at
   sample rate 1.0 and emit the finished spans as JSONL (stdout or
   ``--output``), ready for :func:`repro.obs.build_tree`;
@@ -37,7 +44,7 @@ from __future__ import annotations
 import argparse
 import sys
 import threading
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.api.backends import available_backends
 from repro.api.config import DEFAULT_BATCH_SIZE, RegenConfig
@@ -49,6 +56,9 @@ from repro.schema.schema import Schema
 #: ``serve --require-warm`` exit code when the store could not serve the
 #: request without running the pipeline.
 EXIT_NOT_WARM = 3
+
+#: Default HTTP request-body cap (mirrors ``RegenConfig.max_request_bytes``).
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
 
 
 def _benchmark_environment(args: argparse.Namespace) -> Tuple[Schema, ConstraintSet, "Workload", "Database"]:
@@ -73,6 +83,10 @@ def _session(args: argparse.Namespace, schema: Schema) -> Session:
         max_connections=getattr(args, "max_connections", 64),
         request_timeout=getattr(args, "request_timeout", 30.0),
         cursor_idle_timeout=getattr(args, "cursor_idle_timeout", None),
+        max_request_bytes=getattr(args, "max_request_bytes", None)
+        or DEFAULT_MAX_REQUEST_BYTES,
+        store_url=getattr(args, "store_url", None),
+        store_peers=getattr(args, "store_peers", None),
     )
     return Session(schema, config=config, store=getattr(args, "store", None))
 
@@ -203,6 +217,7 @@ def _cmd_serve_listen(args: argparse.Namespace) -> int:
             host or config.listen_host, port,
             max_connections=config.max_connections,
             request_timeout=config.request_timeout,
+            max_request_bytes=config.max_request_bytes,
             require_warm=args.require_warm,
             default_batch_size=args.batch_size,
         )
@@ -277,9 +292,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_remote_stats(args: argparse.Namespace) -> int:
+    """``stats --url``: scrape a running server instead of opening a dir.
+
+    Works against both HTTP front-ends — the serving layer
+    (:class:`repro.server.RegenerationServer`) and the store leader
+    (:class:`repro.cluster.StoreServer`) expose the same ``/v1/stats`` and
+    ``/metrics`` endpoints.
+    """
+    import json
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    if args.prometheus or args.metrics:
+        with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+    with urllib.request.urlopen(base + "/v1/stats", timeout=10) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    flat = {key: value for key, value in payload.items()
+            if not isinstance(value, (dict, list))}
+    print(" ".join(f"{key}={value}" for key, value in sorted(flat.items())))
+    for key, nested in sorted(payload.items()):
+        if isinstance(nested, dict):
+            line = " ".join(f"{k}={v}" for k, v in sorted(nested.items())
+                            if not isinstance(v, (dict, list)))
+            if line:
+                print(f"  {key}: {line}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.service.store import SummaryStore
 
+    if args.url is not None:
+        return _fetch_remote_stats(args)
+    if args.store is None:
+        print("stats: one of --store or --url is required", file=sys.stderr)
+        return 2
     store = SummaryStore(args.store)
     if args.json or args.prometheus or args.metrics:
         # Refresh the store gauges, then export the registry whole.
@@ -352,6 +405,89 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_until_signal(on_signal: "Callable[[], None]",
+                      run: "Callable[[], None]") -> None:
+    """Run a blocking loop, draining via ``on_signal`` on SIGTERM/SIGINT.
+
+    The drain runs on a helper thread because shutdown calls block until
+    the serving loop exits — triggering them inside the handler would
+    deadlock the process (same pattern as ``serve --listen``).
+    """
+    import signal
+
+    threads: List[threading.Thread] = []
+
+    def _handle(signum: int, frame: object) -> None:
+        thread = threading.Thread(target=on_signal,
+                                  name="repro-store-shutdown", daemon=True)
+        threads.append(thread)
+        thread.start()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    run()
+    for thread in threads:
+        thread.join()
+
+
+def _cmd_store_serve(args: argparse.Namespace) -> int:
+    """``store serve``: run one store directory as a replication leader."""
+    from repro.cluster import StoreServer
+    from repro.service.store import SummaryStore
+
+    host, port = _parse_listen(args.listen)
+    store = SummaryStore(args.store)
+    server = StoreServer(store, host or "127.0.0.1", port,
+                         max_request_bytes=args.max_request_bytes)
+    print(f"listening on {server.url} role=leader root={args.store}"
+          f" log_id={server.log.log_id} last_offset={server.log.last_offset}",
+          flush=True)
+    _run_until_signal(server.shutdown, server.serve_forever)
+    print(f"closed last_offset={server.log.last_offset}")
+    return 0
+
+
+def _cmd_store_replicate(args: argparse.Namespace) -> int:
+    """``store replicate``: tail a leader's change log into a local replica."""
+    from repro.cluster import ReplicatedStore
+
+    if args.oneshot:
+        replica = ReplicatedStore(args.url, args.store,
+                                  poll_interval=args.poll_interval,
+                                  start_tailer=False)
+        applied = replica.catch_up()
+        print(f"caught up url={args.url} store={args.store}"
+              f" applied={applied} offset={replica.applied_offset}")
+        replica.close()
+        return 0
+    replica = ReplicatedStore(args.url, args.store,
+                              poll_interval=args.poll_interval)
+    stop = threading.Event()
+    print(f"replicating url={args.url} store={args.store}"
+          f" offset={replica.applied_offset}", flush=True)
+    _run_until_signal(stop.set, stop.wait)
+    replica.close()
+    print(f"closed offset={replica.applied_offset}")
+    return 0
+
+
+def _cmd_store_status(args: argparse.Namespace) -> int:
+    """``store status``: one leader's health, offsets and counters."""
+    from repro.cluster import LeaderClient
+
+    client = LeaderClient(args.url)
+    stats = client.request("GET", "/v1/stats")
+    print(f"url={args.url} role={stats.get('role')}"
+          f" log_id={stats.get('log_id')}"
+          f" first_offset={stats.get('first_offset')}"
+          f" last_offset={stats.get('last_offset')}")
+    counters = stats.get("counters")
+    if isinstance(counters, dict):
+        print(" ".join(f"{key}={value}"
+                       for key, value in sorted(counters.items())))
+    return 0
+
+
 def _cmd_gc(args: argparse.Namespace) -> int:
     """One store GC pass: TTL expiration + LRU eviction down to the caps
     given on the command line (absent flags mean "no limit" for this pass)."""
@@ -400,10 +536,22 @@ def build_parser() -> argparse.ArgumentParser:
                        default="text", dest="log_format",
                        help="handler format for repro.* log events")
 
+    def add_cluster(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store-url", default=None, dest="store_url",
+                       metavar="URL",
+                       help="follow the store leader at this URL (the local"
+                            " --store directory becomes a tailing replica)")
+        p.add_argument("--store-peers", default=None, dest="store_peers",
+                       metavar="URL,URL,...",
+                       help="shard fingerprints across these store leaders"
+                            " (consistent hashing; one replica per peer"
+                            " under the --store directory)")
+
     summarize = sub.add_parser(
         "summarize", help="build the benchmark workload's summary into the store")
     summarize.add_argument("--store", required=True, help="store directory")
     add_env(summarize)
+    add_cluster(summarize)
     summarize.set_defaults(func=_cmd_summarize)
 
     regenerate = sub.add_parser(
@@ -460,10 +608,19 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="cursor_idle_timeout",
                        help="reap stream cursors (and release their store"
                             " pins) after this many idle seconds")
+    serve.add_argument("--max-request-bytes", type=int,
+                       default=DEFAULT_MAX_REQUEST_BYTES,
+                       dest="max_request_bytes",
+                       help="HTTP request-body cap in bytes (oversized"
+                            " POSTs answered 413)")
+    add_cluster(serve)
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="print store counters")
-    stats.add_argument("--store", required=True, help="store directory")
+    stats.add_argument("--store", default=None, help="store directory")
+    stats.add_argument("--url", default=None, metavar="URL",
+                       help="scrape /v1/stats (or /metrics) from a running"
+                            " server instead of opening a directory")
     stats.add_argument("--entries", action="store_true",
                        help="also list the stored summaries")
     stats.add_argument("--tenants", action="store_true",
@@ -490,6 +647,44 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", default=None,
                        help="write the span JSONL here instead of stdout")
     trace.set_defaults(func=_cmd_trace)
+
+    store = sub.add_parser(
+        "store", help="run and inspect the replicated store fleet")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_serve = store_sub.add_parser(
+        "serve", help="serve one store directory as a replication leader")
+    store_serve.add_argument("--store", required=True, help="store directory")
+    store_serve.add_argument("--listen", default="127.0.0.1:0",
+                             metavar="HOST:PORT",
+                             help="listen address (port 0 binds an ephemeral"
+                                  " port, printed on startup)")
+    store_serve.add_argument("--max-request-bytes", type=int,
+                             default=DEFAULT_MAX_REQUEST_BYTES,
+                             dest="max_request_bytes",
+                             help="request-body cap in bytes (oversized PUTs"
+                                  " answered 413)")
+    store_serve.set_defaults(func=_cmd_store_serve)
+
+    store_replicate = store_sub.add_parser(
+        "replicate", help="tail a leader's change log into a local replica")
+    store_replicate.add_argument("--store", required=True,
+                                 help="local replica directory")
+    store_replicate.add_argument("--url", required=True,
+                                 help="leader base URL (http://host:port)")
+    store_replicate.add_argument("--poll-interval", type=float, default=0.25,
+                                 dest="poll_interval",
+                                 help="change-log poll period in seconds")
+    store_replicate.add_argument("--oneshot", action="store_true",
+                                 help="catch up once and exit instead of"
+                                      " tailing until SIGTERM")
+    store_replicate.set_defaults(func=_cmd_store_replicate)
+
+    store_status = store_sub.add_parser(
+        "status", help="print a leader's health, offsets and counters")
+    store_status.add_argument("--url", required=True,
+                              help="leader base URL (http://host:port)")
+    store_status.set_defaults(func=_cmd_store_status)
 
     gc = sub.add_parser(
         "gc", help="compact the store: TTL expiration + LRU eviction to caps")

@@ -1,0 +1,48 @@
+"""The multi-node store layer: one summary store, served as a fleet.
+
+The paper's regeneration loop replicates *summaries*, never data — a
+kilobyte-scale declarative summary regenerates an arbitrarily large
+database on any node that holds it.  This package turns the single-node
+disk store into that fleet:
+
+* :class:`StoreBackend` / :class:`DiskBackend` — the protocol the serving
+  layers type against, and the original disk store as its reference
+  implementation (byte-identical layout);
+* :class:`ChangeLog` — the leader's append-only, fsynced, offset-indexed
+  mutation journal (``log.jsonl`` segments);
+* :class:`StoreServer` — a threaded HTTP leader serving entries, listings
+  and the change log over versioned wire JSON;
+* :class:`ReplicatedStore` — the follower backend: local replica reads,
+  leader writes, change-log tailing with catch-up and gap-triggered full
+  resync;
+* :class:`HashRing` / :class:`ShardedStore` — consistent-hash sharding of
+  fingerprints across N leader/follower groups behind one backend;
+* :func:`open_store` — config-driven construction
+  (``store_url=`` / ``store_peers=`` / plain path).
+
+``python -m repro store serve|replicate|status`` are the CLI doors;
+``docs/CLUSTER.md`` describes topology, the change-log format and the
+failure modes.
+"""
+
+from repro.cluster.backend import DiskBackend, StoreBackend
+from repro.cluster.factory import open_store, peer_urls
+from repro.cluster.log import ChangeLog
+from repro.cluster.replica import LeaderClient, ReplicatedStore
+from repro.cluster.ring import HashRing
+from repro.cluster.server import STORE_WIRE_VERSION, StoreServer
+from repro.cluster.sharded import ShardedStore
+
+__all__ = [
+    "STORE_WIRE_VERSION",
+    "ChangeLog",
+    "DiskBackend",
+    "HashRing",
+    "LeaderClient",
+    "ReplicatedStore",
+    "ShardedStore",
+    "StoreBackend",
+    "StoreServer",
+    "open_store",
+    "peer_urls",
+]

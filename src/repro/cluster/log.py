@@ -1,0 +1,245 @@
+"""Append-only, fsynced, offset-indexed change log for store replication.
+
+The change log is the replication backbone of a leader store: every entry
+``put`` (with its full on-disk payload) and ``delete`` is appended as one
+JSON line, and followers replay those lines in offset order to reconstruct a
+byte-equivalent replica.  Summaries are kilobyte-scale — the paper's whole
+point — so the log carries *complete* payloads rather than diffs, which
+makes replay idempotent and a fresh follower's catch-up a pure log scan.
+
+Layout, rooted at ``<store>/changelog``::
+
+    meta.json                          {"format": 1, "log_id": "<hex>"}
+    segment-00000000000000000001.jsonl records 1..k   (first segment)
+    segment-0000000000000000k+1.jsonl  records k+1..  (rotated segments)
+
+Offsets are 1-based and dense: record ``n`` is the ``n``-th mutation ever
+applied to the leader.  Each segment file is named after the offset of its
+first record, so positioning a read at offset ``n`` is a filename bisect,
+never a full log scan.  Appends are flushed and ``fsync``-ed before the
+offset is acknowledged; a torn final line (crash mid-append) is truncated
+away on reopen.  The ``log_id`` identifies one log lineage — a follower that
+sees a different ``log_id`` (e.g. the leader was rebuilt from scratch) must
+full-resync instead of tailing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ChangeLogError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+logger = get_logger("cluster.log")
+
+#: Change-log format version; bump on incompatible record/layout changes.
+LOG_FORMAT = 1
+
+#: Rotate to a fresh segment once the current one exceeds this many bytes.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _segment_name(first_offset: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_offset:020d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_offset(path: Path) -> int:
+    return int(path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+
+
+class ChangeLog:
+    """Durable, offset-indexed mutation journal (``log.jsonl`` segments).
+
+    Implements the journal interface :meth:`SummaryStore.attach_journal`
+    expects — ``append(op, kind, key, payload)`` — plus the offset-addressed
+    read side the :class:`~repro.cluster.server.StoreServer` serves to
+    tailing followers.
+    """
+
+    def __init__(self, root: Union[str, Path],
+                 segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 fsync: bool = True,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if segment_max_bytes <= 0:
+            raise ChangeLogError("segment_max_bytes must be positive")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._handle = None
+        self._handle_size = 0
+        self._closed = False
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_records = self.registry.counter(
+            "repro_cluster_log_records_total",
+            "Change-log records appended, by operation", labelnames=("op",))
+        self._g_offset = self.registry.gauge(
+            "repro_cluster_log_offset",
+            "Offset of the last change-log record appended by this process")
+        self.log_id = self._load_meta()
+        self._segments = sorted(
+            (p for p in self.root.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")),
+            key=_segment_offset)
+        self.last_offset = self._recover_tail()
+        self._g_offset.set(self.last_offset)
+
+    # ------------------------------------------------------------------ #
+    # open/recover
+    # ------------------------------------------------------------------ #
+    def _load_meta(self) -> str:
+        meta_path = self.root / "meta.json"
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+                if int(meta["format"]) != LOG_FORMAT:
+                    raise ChangeLogError(
+                        f"change log {self.root} has format {meta['format']},"
+                        f" expected {LOG_FORMAT}")
+                return str(meta["log_id"])
+            except (ValueError, TypeError, KeyError) as error:
+                raise ChangeLogError(
+                    f"change-log meta {meta_path} is unreadable: {error}"
+                ) from error
+        log_id = uuid.uuid4().hex
+        payload = json.dumps({"format": LOG_FORMAT, "log_id": log_id})
+        tmp = meta_path.with_name(".tmp-meta.json")
+        tmp.write_text(payload)
+        os.replace(tmp, meta_path)
+        return log_id
+
+    def _recover_tail(self) -> int:
+        """Count the last segment's complete records; truncate a torn tail."""
+        if not self._segments:
+            return 0
+        tail = self._segments[-1]
+        offset = _segment_offset(tail) - 1
+        good_bytes = 0
+        with open(tail, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break  # torn final line: a crash mid-append
+                try:
+                    record = json.loads(line)
+                    offset = int(record["offset"])
+                except (ValueError, TypeError, KeyError):
+                    break
+                good_bytes += len(line)
+        if good_bytes < tail.stat().st_size:
+            logger.warning("truncating torn change-log tail %s at %d bytes",
+                           tail.name, good_bytes)
+            with open(tail, "r+b") as handle:
+                handle.truncate(good_bytes)
+        return offset
+
+    @property
+    def first_offset(self) -> int:
+        """Offset of the oldest retained record (``1`` when none rotated
+        away); reads below this require a full resync."""
+        if not self._segments:
+            return 1
+        return _segment_offset(self._segments[0])
+
+    # ------------------------------------------------------------------ #
+    # append
+    # ------------------------------------------------------------------ #
+    def append(self, op: str, kind: str, key: str,
+               payload: Optional[Dict[str, object]] = None) -> int:
+        """Durably append one mutation record; returns its offset."""
+        if op not in ("put", "delete"):
+            raise ChangeLogError(f"unknown change-log op {op!r}")
+        with self._lock:
+            if self._closed:
+                raise ChangeLogError("change log is closed")
+            offset = self.last_offset + 1
+            record = {"offset": offset, "op": op, "kind": kind, "key": key,
+                      "payload": payload, "ts": round(time.time(), 3)}
+            line = json.dumps(record, separators=(",", ":")) + "\n"
+            blob = line.encode("utf-8")
+            if self._handle is None or self._handle_size >= self.segment_max_bytes:
+                self._rotate_locked(offset)
+            self._handle.write(blob)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._handle_size += len(blob)
+            self.last_offset = offset
+        self._c_records.labels(op=op).inc()
+        self._g_offset.set(offset)
+        return offset
+
+    def _rotate_locked(self, first_offset: int) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        path = self.root / _segment_name(first_offset)
+        self._handle = open(path, "ab")
+        self._handle_size = path.stat().st_size
+        self._segments.append(path)
+
+    # ------------------------------------------------------------------ #
+    # read
+    # ------------------------------------------------------------------ #
+    def read(self, start: int, max_records: int = 500) -> List[Dict[str, object]]:
+        """Records with ``offset >= start`` in order, at most ``max_records``.
+
+        Raises :class:`ChangeLogError` when ``start`` precedes the oldest
+        retained record — the caller must full-resync, there is no way to
+        replay history that was pruned.
+        """
+        if start < 1:
+            raise ChangeLogError(f"change-log offsets are 1-based, got {start}")
+        with self._lock:
+            segments = list(self._segments)
+            last = self.last_offset
+            if self._handle is not None:
+                self._handle.flush()
+        if start > last:
+            return []
+        if start < self.first_offset:
+            raise ChangeLogError(
+                f"offset {start} precedes the oldest retained record"
+                f" ({self.first_offset}): full resync required")
+        out: List[Dict[str, object]] = []
+        # Filename bisect: start from the last segment whose first offset is
+        # <= start, then stream forward.
+        begin = 0
+        for index, path in enumerate(segments):
+            if _segment_offset(path) <= start:
+                begin = index
+        for path in segments[begin:]:
+            with open(path, "rb") as handle:
+                for line in handle:
+                    if not line.endswith(b"\n"):
+                        break
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        break
+                    if int(record["offset"]) < start:
+                        continue
+                    out.append(record)
+                    if len(out) >= max_records:
+                        return out
+        return out
+
+    def close(self) -> None:
+        """Close the append handle; further appends raise."""
+        with self._lock:
+            self._closed = True
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ChangeLog({str(self.root)!r}, last_offset={self.last_offset},"
+                f" segments={len(self._segments)})")

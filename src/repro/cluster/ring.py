@@ -1,0 +1,82 @@
+"""Consistent hashing of fingerprints across store shards.
+
+A :class:`HashRing` places each node at ``vnodes`` pseudo-random points on a
+64-bit ring (SHA-256 of ``"<node>#<replica>"``) and routes a key to the
+first node point at or after the key's own hash.  Virtual nodes smooth the
+key distribution; consistent placement means adding or removing one shard
+only remaps the keys adjacent to its points — every other fingerprint keeps
+its shard, so a resize invalidates a fraction (≈1/N) of the fleet's warmed
+entries instead of all of them.
+
+Determinism matters more than cryptography here: every process that builds
+a ring from the same node names routes every fingerprint identically, with
+no coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Tuple
+
+from repro.errors import ClusterError
+
+#: Default virtual-node count per shard (even spread at small shard counts).
+DEFAULT_VNODES = 64
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes over named shards."""
+
+    def __init__(self, nodes: Iterable[str],
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ClusterError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: List[str] = []
+        for node in nodes:
+            self.add_node(node)
+        if not self._nodes:
+            raise ClusterError("a hash ring needs at least one node")
+
+    @property
+    def nodes(self) -> List[str]:
+        """Shard names on the ring, in insertion order."""
+        return list(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        """Place one shard's virtual nodes on the ring."""
+        if not node:
+            raise ClusterError("shard names must be non-empty")
+        if node in self._nodes:
+            raise ClusterError(f"shard {node!r} is already on the ring")
+        self._nodes.append(node)
+        for replica in range(self.vnodes):
+            bisect.insort(self._points, (_point(f"{node}#{replica}"), node))
+
+    def remove_node(self, node: str) -> None:
+        """Remove one shard; its keys flow to their ring successors."""
+        if node not in self._nodes:
+            raise ClusterError(f"shard {node!r} is not on the ring")
+        self._nodes.remove(node)
+        self._points = [(point, name) for point, name in self._points
+                        if name != node]
+
+    def node_for(self, key: str) -> str:
+        """The shard responsible for ``key``."""
+        index = bisect.bisect_right(self._points, (_point(key), ""))
+        if index == len(self._points):
+            index = 0  # wrap past the highest point
+        return self._points[index][1]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing({self._nodes!r}, vnodes={self.vnodes})"

@@ -1,0 +1,172 @@
+"""One store backend over N shards, routed by consistent hashing.
+
+A :class:`ShardedStore` presents the :class:`~repro.cluster.backend.StoreBackend`
+protocol over a set of named member backends — typically one
+:class:`~repro.cluster.replica.ReplicatedStore` per leader/follower group —
+with every fingerprint and LP component key owned by exactly one shard
+(:class:`~repro.cluster.ring.HashRing` placement).  Key-addressed calls
+route to the owner; listings, GC and telemetry fan out and merge, so the
+serving layers see one store whose capacity is the sum of its shards.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.errors import ClusterError
+from repro.lp.model import LPSolution
+from repro.obs.metrics import MetricsRegistry
+from repro.service.store import StoreSolutionCache
+from repro.summary.relation_summary import DatabaseSummary
+
+
+class ShardedStore:
+    """Consistent-hash composition of store backends into one.
+
+    Parameters
+    ----------
+    backends:
+        ``{shard_name: backend}`` — any :class:`StoreBackend`
+        implementations (disk, replicated, or nested sharded stores).
+    vnodes:
+        Virtual nodes per shard on the ring.
+    registry:
+        Registry for the router's own ``repro_cluster_shard_requests_total``
+        counter (member backends keep their own registries).
+    """
+
+    def __init__(self, backends: Mapping[str, object],
+                 vnodes: int = DEFAULT_VNODES,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if not backends:
+            raise ClusterError("a sharded store needs at least one backend")
+        self.backends: Dict[str, object] = dict(backends)
+        self.ring = HashRing(self.backends.keys(), vnodes=vnodes)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.root = None  # no single directory; members own their storage
+        self._c_routes = self.registry.counter(
+            "repro_cluster_shard_requests_total",
+            "Key-addressed store operations routed, by owning shard",
+            labelnames=("shard",))
+
+    def shard_for(self, key: str) -> str:
+        """Name of the shard owning ``key``."""
+        return self.ring.node_for(key)
+
+    def _backend(self, key: str):
+        shard = self.ring.node_for(key)
+        self._c_routes.labels(shard=shard).inc()
+        return self.backends[shard]
+
+    # ------------------------------------------------------------------ #
+    # key-addressed: route to the owning shard
+    # ------------------------------------------------------------------ #
+    def put_summary(self, fingerprint: str, summary: DatabaseSummary,
+                    meta: Optional[Mapping[str, object]] = None) -> None:
+        self._backend(fingerprint).put_summary(fingerprint, summary, meta)
+
+    def get_summary(self, fingerprint: str) -> Optional[DatabaseSummary]:
+        return self._backend(fingerprint).get_summary(fingerprint)
+
+    def read_summary(self, fingerprint: str) -> DatabaseSummary:
+        return self._backend(fingerprint).read_summary(fingerprint)
+
+    def has_summary(self, fingerprint: str) -> bool:
+        return self._backend(fingerprint).has_summary(fingerprint)
+
+    def put_component(self, key: str, solution: LPSolution) -> None:
+        self._backend(key).put_component(key, solution)
+
+    def get_component(self, key: str) -> Optional[LPSolution]:
+        return self._backend(key).get_component(key)
+
+    def delete_entry(self, kind: str, key: str) -> bool:
+        return self._backend(key).delete_entry(kind, key)
+
+    def entry_payload(self, kind: str, key: str) -> Dict[str, object]:
+        return self._backend(key).entry_payload(kind, key)
+
+    def apply_entry(self, kind: str, key: str,
+                    payload: Mapping[str, object]) -> None:
+        self._backend(key).apply_entry(kind, key, payload)
+
+    def pin(self, fingerprint: str) -> None:
+        self._backend(fingerprint).pin(fingerprint)
+
+    def unpin(self, fingerprint: str) -> None:
+        self._backend(fingerprint).unpin(fingerprint)
+
+    @contextlib.contextmanager
+    def pinned(self, fingerprint: str) -> Iterator[None]:
+        self.pin(fingerprint)
+        try:
+            yield
+        finally:
+            self.unpin(fingerprint)
+
+    def pin_count(self, fingerprint: str) -> int:
+        return self._backend(fingerprint).pin_count(fingerprint)
+
+    def solution_cache(self, memory_size: int = 256) -> StoreSolutionCache:
+        """LP solver cache routing each component key to its shard."""
+        return StoreSolutionCache(self, memory_size=max(1, memory_size))
+
+    # ------------------------------------------------------------------ #
+    # fan-out: merge over every shard
+    # ------------------------------------------------------------------ #
+    def summary_fingerprints(self) -> List[str]:
+        out: List[str] = []
+        for backend in self.backends.values():
+            out.extend(backend.summary_fingerprints())
+        return sorted(set(out))
+
+    def component_keys(self) -> List[str]:
+        out: List[str] = []
+        for backend in self.backends.values():
+            out.extend(backend.component_keys())
+        return sorted(set(out))
+
+    def entries(self) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for name, backend in sorted(self.backends.items()):
+            for entry in backend.entries():
+                out.append({**entry, "shard": name})
+        out.sort(key=lambda entry: entry["fingerprint"])
+        return out
+
+    def compact(self, *args: object, **kwargs: object) -> Dict[str, int]:
+        report: Dict[str, int] = {}
+        for backend in self.backends.values():
+            for key, value in backend.compact(*args, **kwargs).items():
+                report[key] = report.get(key, 0) + int(value)
+        return report
+
+    def counters(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for backend in self.backends.values():
+            for key, value in backend.counters().items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+    def store_bytes(self) -> int:
+        return sum(backend.store_bytes() for backend in self.backends.values())
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for backend in self.backends.values():
+            for key, value in backend.stats.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+    def close(self) -> None:
+        """Close every member backend that supports closing."""
+        for backend in self.backends.values():
+            close = getattr(backend, "close", None)
+            if callable(close):
+                close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedStore({sorted(self.backends)!r})"

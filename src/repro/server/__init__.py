@@ -15,6 +15,7 @@ from repro.server.http import (
 )
 from repro.server.wire import (
     WIRE_VERSION,
+    RequestTooLargeError,
     WireFormatError,
     constraint_set_from_wire,
     constraint_set_to_wire,
@@ -29,6 +30,7 @@ __all__ = [
     "TRACE_HEADER",
     "RegenerationServer",
     "WIRE_VERSION",
+    "RequestTooLargeError",
     "WireFormatError",
     "constraint_set_from_wire",
     "constraint_set_to_wire",

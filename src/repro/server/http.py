@@ -56,6 +56,7 @@ from repro.errors import (
 from repro.obs.logging import get_logger
 from repro.obs.trace import Span, get_tracer
 from repro.server.wire import (
+    RequestTooLargeError,
     WireFormatError,
     constraint_set_from_wire,
     ndjson_batch,
@@ -76,9 +77,45 @@ PARENT_SPAN_HEADER = "X-Repro-Parent-Span"
 #: NDJSON content type of the streaming endpoint.
 NDJSON_CONTENT_TYPE = "application/x-ndjson"
 
-#: Largest request body the summarize endpoint accepts (64 MiB — a wire
-#: workload is a few KB; anything near this bound is a client bug).
+#: Default cap on request bodies (64 MiB — a wire workload is a few KB;
+#: anything near this bound is a client bug).  Override per server with the
+#: ``max_request_bytes`` knob; oversized bodies answer **413**.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def read_json_body(handler: BaseHTTPRequestHandler,
+                   max_bytes: int = MAX_BODY_BYTES) -> Dict[str, object]:
+    """Read one JSON object request body, bounded by ``max_bytes``.
+
+    Shared by the serving front-end and the cluster's ``StoreServer`` so
+    every repro HTTP endpoint enforces the same body cap.  Raises
+    :class:`RequestTooLargeError` (→ 413) when the declared length exceeds
+    the cap and :class:`WireFormatError` (→ 400) on everything else.  The
+    read itself is bounded by the *declared* length, so a client that lies
+    short simply fails JSON parsing — it can never make the server buffer
+    more than ``max_bytes``.
+    """
+    length_header = handler.headers.get("Content-Length")
+    if length_header is None:
+        raise WireFormatError("a Content-Length request body is required")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise WireFormatError("bad Content-Length") from None
+    if length < 0:
+        raise WireFormatError("bad Content-Length")
+    if length > max_bytes:
+        raise RequestTooLargeError(
+            f"request body of {length} bytes exceeds the"
+            f" {max_bytes}-byte limit")
+    raw = handler.rfile.read(length)
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireFormatError(f"request body is not JSON: {error}") from None
+    if not isinstance(body, dict):
+        raise WireFormatError("request body must be a JSON object")
+    return body
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -118,6 +155,10 @@ class RegenerationServer:
     default_batch_size:
         Tuples per streamed NDJSON chunk when the client does not pass
         ``?batch_size=``.
+    max_request_bytes:
+        Cap on request body size; an oversized submit answers **413**
+        (counted in ``repro_server_requests_total{code="413"}``) instead of
+        ballooning server memory.
     """
 
     def __init__(self, service: RegenerationService,
@@ -125,18 +166,22 @@ class RegenerationServer:
                  max_connections: int = 64,
                  request_timeout: float = 30.0,
                  require_warm: bool = False,
-                 default_batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 default_batch_size: int = DEFAULT_BATCH_SIZE,
+                 max_request_bytes: int = MAX_BODY_BYTES) -> None:
         if max_connections < 1:
             raise ServiceError("max_connections must be at least 1")
         if request_timeout <= 0:
             raise ServiceError("request_timeout must be positive")
         if default_batch_size < 1:
             raise ServiceError("default_batch_size must be at least 1")
+        if max_request_bytes < 1:
+            raise ServiceError("max_request_bytes must be at least 1")
         self.service = service
         self.require_warm = require_warm
         self.request_timeout = float(request_timeout)
         self.max_connections = max_connections
         self.default_batch_size = default_batch_size
+        self.max_request_bytes = max_request_bytes
         self._state = threading.Condition()
         self._active = 0
         self._draining = False
@@ -436,6 +481,8 @@ class _Handler(BaseHTTPRequestHandler):
             tenant = str(body.get("tenant", DEFAULT_TENANT))
             wait = bool(body.get("wait", True))
             timeout = float(body.get("timeout", app.request_timeout))
+        except RequestTooLargeError as error:
+            return self._error(413, str(error))
         except WireFormatError as error:
             return self._error(400, str(error))
         fingerprint = service.fingerprint(workload, relations)
@@ -537,23 +584,4 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(b"\r\n")
 
     def _read_json_body(self) -> Dict[str, object]:
-        length_header = self.headers.get("Content-Length")
-        if length_header is None:
-            raise WireFormatError("a Content-Length request body is required")
-        try:
-            length = int(length_header)
-        except ValueError:
-            raise WireFormatError("bad Content-Length") from None
-        if not 0 <= length <= MAX_BODY_BYTES:
-            raise WireFormatError(
-                f"request body of {length} bytes exceeds the"
-                f" {MAX_BODY_BYTES}-byte limit")
-        raw = self.rfile.read(length)
-        try:
-            body = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise WireFormatError(f"request body is not JSON: {error}") \
-                from None
-        if not isinstance(body, dict):
-            raise WireFormatError("request body must be a JSON object")
-        return body
+        return read_json_body(self, self.server.app.max_request_bytes)

@@ -38,6 +38,13 @@ class WireFormatError(ServiceError):
     """A request payload does not parse as the documented wire form."""
 
 
+class RequestTooLargeError(WireFormatError):
+    """A request body exceeds the server's ``max_request_bytes`` cap.
+
+    Mapped to HTTP **413** (the other wire-format failures map to 400), so
+    one oversized client can never balloon server memory."""
+
+
 # ---------------------------------------------------------------------- #
 # workload wire form
 # ---------------------------------------------------------------------- #

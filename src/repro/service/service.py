@@ -296,10 +296,14 @@ class RegenerationService:
     schema:
         The (anonymised) client schema requests are validated against.
     store:
-        A :class:`SummaryStore`, a directory path to open one at, or ``None``
-        for an ephemeral memory-only store.  A path-opened store inherits
-        the config's lifecycle caps (``max_store_bytes`` / ``max_entries`` /
-        ``ttl_seconds``).
+        Any :class:`~repro.cluster.backend.StoreBackend` (a
+        :class:`SummaryStore`, :class:`~repro.cluster.ReplicatedStore`,
+        :class:`~repro.cluster.ShardedStore`, …), a directory path, or
+        ``None``.  Paths and ``None`` go through
+        :func:`repro.cluster.open_store`, so the config's cluster knobs
+        (``store_url`` / ``store_peers``) pick the topology and a
+        path-opened store inherits the config's lifecycle caps
+        (``max_store_bytes`` / ``max_entries`` / ``ttl_seconds``).
     config:
         A :class:`~repro.api.RegenConfig` (the canonical spelling), or a
         legacy :class:`HydraConfig` / :class:`DataSynthConfig`, which is
@@ -381,16 +385,17 @@ class RegenerationService:
             get_tracer().configure(sample=self.config.trace_sample)
         if self.config.log_format == "json":
             configure_logging(log_format="json")
-        if isinstance(store, SummaryStore):
+        if store is not None and hasattr(store, "get_summary"):
+            # Any ready-made StoreBackend (disk, replicated, sharded, or a
+            # plain SummaryStore) is used as-is.
             self.store = store
         else:
-            self.store = SummaryStore(
-                store,
-                max_store_bytes=self.config.max_store_bytes,
-                max_entries=self.config.max_entries,
-                ttl_seconds=self.config.ttl_seconds,
-                registry=self.registry,
-            )
+            # Lazy import: repro.cluster imports repro.server.http, which
+            # imports this module — deferring keeps the import DAG acyclic.
+            from repro.cluster.factory import open_store
+
+            self.store = open_store(store, config=self.config,
+                                    registry=self.registry)
         self.engine = engine or self.config.engine
         self.backend = create_backend(self.engine, schema, self.config, self.store)
         #: Back-compat alias: the wrapped engine object (a ``Hydra`` for the

@@ -131,6 +131,12 @@ class SummaryStore:
         )
         self._metas: Dict[str, Dict[str, object]] = {}
         self._lock = threading.Lock()
+        # Optional mutation journal (the cluster change log).  When attached
+        # via attach_journal(), every completed entry write and delete is
+        # appended as ``journal.append(op, kind, key, payload)`` so followers
+        # can replay this store's history.  ``None`` (the default) keeps
+        # single-node stores on the exact pre-cluster code path.
+        self._journal = None
         self.registry = registry if registry is not None else MetricsRegistry()
         self._c_hits = self.registry.counter(
             "repro_store_summary_hits_total",
@@ -294,6 +300,11 @@ class SummaryStore:
             self._disk_bytes += len(blob) - (previous or 0)
             if previous is None:
                 self._disk_entries[kind] += 1
+            # Journal the mutation under the same lock, so the change log
+            # preserves this store's apply order (a delete scanning the same
+            # key serialises behind us on self._lock).
+            if self._journal is not None:
+                self._journal.append("put", kind, key, payload)
 
     def _account_memory_entry(self, kind: str, key: str, size: int) -> None:
         """Memory-only occupancy ledger (mirrors the disk byte counter)."""
@@ -331,6 +342,125 @@ class SummaryStore:
             return
         for path in sorted(base.glob("*/*.json.gz")):
             yield path.name[: -len(".json.gz")]
+
+    # ------------------------------------------------------------------ #
+    # replication hooks (the repro.cluster layer builds on these)
+    # ------------------------------------------------------------------ #
+    def attach_journal(self, journal) -> None:
+        """Attach a mutation journal (e.g. a cluster change log).
+
+        ``journal.append(op, kind, key, payload)`` is called for every
+        completed entry write (``op="put"``, with the full on-disk payload)
+        and delete (``op="delete"``, payload ``None``) — including deletes
+        performed by :meth:`compact`.  Pass ``None`` to detach.
+        """
+        self._journal = journal
+
+    def entry_payload(self, kind: str, key: str) -> Dict[str, object]:
+        """Strict raw payload of one entry, exactly as stored on disk.
+
+        For a memory-only store the payload is re-encoded from the in-memory
+        object.  Raises :class:`SummaryStoreError` on missing/corrupt."""
+        if kind not in ("summaries", "components"):
+            raise SummaryStoreError(f"unknown entry kind {kind!r}")
+        if self.root is not None:
+            return self._read_entry(kind, key)
+        if kind == "summaries":
+            summary = self._summaries.get(key)
+            if summary is None:
+                raise SummaryStoreError(f"store has no {kind} entry {key}")
+            with self._lock:
+                meta = dict(self._metas.get(key, {}))
+            return {"format": STORE_FORMAT, "key": key, "meta": meta,
+                    "summary": summary.to_dict()}
+        with self._lock:
+            solution = self._mem_components.get(key)
+        if solution is None:
+            raise SummaryStoreError(f"store has no {kind} entry {key}")
+        return {"format": STORE_FORMAT, "key": key,
+                "values": [int(v) for v in solution.values],
+                "feasible": bool(solution.feasible),
+                "method": solution.method,
+                "max_violation": float(solution.max_violation)}
+
+    def apply_entry(self, kind: str, key: str,
+                    payload: Mapping[str, object]) -> None:
+        """Apply one replicated ``put`` payload (a follower replaying the
+        leader's change log).  The payload shape is validated the same way
+        :meth:`_read_entry` validates a disk file, so a corrupt record can
+        never be installed locally."""
+        if kind not in ("summaries", "components"):
+            raise SummaryStoreError(f"unknown entry kind {kind!r}")
+        if not isinstance(payload, Mapping) \
+                or payload.get("format") != STORE_FORMAT \
+                or payload.get("key") != key:
+            raise SummaryStoreError(
+                f"replicated {kind} entry {key} has an unexpected payload"
+                " shape or format")
+        if kind == "summaries":
+            try:
+                summary = DatabaseSummary.from_dict(payload["summary"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError) as error:
+                raise SummaryStoreError(
+                    f"replicated summary entry {key} does not decode: {error}"
+                ) from error
+            self._summaries.put(key, summary)
+            meta = payload.get("meta")
+            with self._lock:
+                self._metas[key] = dict(meta) if isinstance(meta, dict) else {}
+            self._write_entry(kind, key, payload)
+            if self.root is None:
+                self._account_memory_entry(kind, key, int(summary.nbytes()))
+        else:
+            try:
+                solution = LPSolution(
+                    values=np.asarray(payload["values"], dtype=np.int64),
+                    feasible=bool(payload["feasible"]),
+                    method=str(payload["method"]),
+                    max_violation=float(payload["max_violation"]),
+                    solve_seconds=0.0,
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise SummaryStoreError(
+                    f"replicated component entry {key} does not decode: {error}"
+                ) from error
+            if self.root is None:
+                with self._lock:
+                    self._mem_components[key] = solution
+                self._account_memory_entry(
+                    "components", key, int(solution.values.nbytes) + 64)
+            else:
+                self._write_entry(kind, key, payload)
+        self._touch(kind, key)
+
+    def delete_entry(self, kind: str, key: str) -> bool:
+        """Remove one entry by key (the cluster protocol's ``delete``).
+
+        Returns ``True`` when an entry was removed, ``False`` when it did
+        not exist.  Unlike :meth:`compact` this ignores recency — it is an
+        explicit deletion, not a GC decision — but still keeps the byte and
+        entry counters exact."""
+        if kind not in ("summaries", "components"):
+            raise SummaryStoreError(f"unknown entry kind {kind!r}")
+        if self.root is not None:
+            try:
+                size = self._entry_path(kind, key).stat().st_size
+            except OSError:
+                return False
+        else:
+            with self._lock:
+                if kind == "summaries":
+                    exists = any(k == key for k in self._summaries.keys())
+                else:
+                    exists = key in self._mem_components
+                size = self._entry_sizes.get((kind, key), 0)
+            if not exists:
+                return False
+        return self._delete_entry(kind, key, size)
+
+    def component_keys(self) -> List[str]:
+        """All stored LP component solution keys."""
+        return sorted(self._iter_keys("components"))
 
     # ------------------------------------------------------------------ #
     # summaries
@@ -590,6 +720,8 @@ class SummaryStore:
                 if removed:
                     self._disk_bytes -= size
                     self._disk_entries[kind] -= 1
+                    if self._journal is not None:
+                        self._journal.append("delete", kind, key, None)
             self._last_used.pop((kind, key), None)
             dropped = self._entry_sizes.pop((kind, key), None)
             if dropped is not None:
