@@ -27,6 +27,7 @@ solvers, partitioners...) remain importable for experiments and extensions;
 
 from repro.api import (
     DatabaseHandle,
+    EpochDiff,
     RegenConfig,
     Session,
     SummaryHandle,
@@ -67,7 +68,9 @@ from repro.predicates import Conjunct, DNFPredicate, Interval, IntervalSet, col
 from repro.schema import Attribute, ForeignKey, Relation, Schema
 from repro.server import RegenerationServer
 from repro.service import (
+    ManifestDiff,
     RegenerationService,
+    ResummarizeReport,
     ServiceStats,
     SummaryStore,
     TenantStats,
@@ -88,6 +91,7 @@ __all__ = [
     "RegenConfig",
     "SummaryHandle",
     "DatabaseHandle",
+    "EpochDiff",
     "register_backend",
     "available_backends",
     # schema
@@ -144,6 +148,8 @@ __all__ = [
     "Ticket",
     "SummaryStore",
     "workload_fingerprint",
+    "ManifestDiff",
+    "ResummarizeReport",
     # cluster
     "StoreBackend",
     "DiskBackend",

@@ -29,13 +29,14 @@ from repro.api.backends import (
     register_backend,
 )
 from repro.api.config import BUILTIN_ENGINES, RegenConfig
-from repro.api.session import DatabaseHandle, Session, SummaryHandle
+from repro.api.session import DatabaseHandle, EpochDiff, Session, SummaryHandle
 
 __all__ = [
     "Session",
     "RegenConfig",
     "SummaryHandle",
     "DatabaseHandle",
+    "EpochDiff",
     "PipelineBackend",
     "BackendBuild",
     "register_backend",

@@ -56,6 +56,32 @@ from repro.workload.query import Workload
 
 
 @dataclass(frozen=True)
+class EpochDiff:
+    """Per-component reuse report between two stored workload epochs.
+
+    ``reused`` components are shared by both epochs (an incremental build of
+    ``b`` from ``a`` serves them from cache with zero solves), ``added``
+    exist only in epoch ``b``, ``retired`` only in epoch ``a``.
+    """
+
+    fingerprint_a: str
+    fingerprint_b: str
+    reused: tuple
+    added: tuple
+    retired: tuple
+
+    @property
+    def total(self) -> int:
+        """Component count of epoch ``b``."""
+        return len(self.reused) + len(self.added)
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of epoch ``b``'s components shared with epoch ``a``."""
+        return len(self.reused) / self.total if self.total else 1.0
+
+
+@dataclass(frozen=True)
 class SummaryHandle:
     """A built database summary plus everything needed to reuse it.
 
@@ -215,6 +241,98 @@ class Session:
             diagnostics=build.diagnostics,
             from_store=build.from_store,
         )
+
+    def resummarize(self, base_fingerprint: str, constraints: ConstraintSet,
+                    engine: Optional[str] = None,
+                    relations: Optional[Sequence[str]] = None) -> SummaryHandle:
+        """Incrementally re-summarize a drifted workload against a warm epoch.
+
+        Diffs the drifted workload's component manifest against the base
+        epoch's provenance, builds reusing every unchanged component's cached
+        solution verbatim (only changed/new constraint-graph components are
+        solved) and links the new epoch to its parent in the store.  The
+        result is byte-identical to a cold :meth:`summarize` of the drifted
+        workload; the handle's ``diagnostics`` carry the reuse report
+        (``parent_fingerprint``, ``components_reused`` / ``_solved`` /
+        ``_retired``).
+        """
+        if self.store is None:
+            raise ServiceError("resummarize needs a store holding the base epoch")
+        base_summary = self.store.get_summary(base_fingerprint)
+        if base_summary is None:
+            raise ServiceError(
+                f"no stored summary for base fingerprint {base_fingerprint[:12]}…;"
+                " summarize the base workload first"
+            )
+        from repro.service.fingerprint import manifest_diff
+
+        backend = self._backend(engine)
+        manifest_fn = getattr(backend.pipeline, "component_manifest", None)
+        new_manifest: List[str] = []
+        if manifest_fn is not None:
+            per_relation = manifest_fn(constraints, relations)
+            new_manifest = sorted(
+                {key for keys in per_relation.values() for key in keys}
+            )
+        diff = manifest_diff(base_summary.component_manifest(), new_manifest)
+        fingerprint = backend.fingerprint(constraints, relations)
+        build = backend.build(constraints, relations)
+        if fingerprint != base_fingerprint:
+            link = getattr(self.store, "link_parent", None)
+            if link is not None:
+                link(fingerprint, base_fingerprint)
+        diagnostics = dict(build.diagnostics)
+        diagnostics.update({
+            "parent_fingerprint": base_fingerprint,
+            "components_reused": len(diff.reused),
+            "components_solved": len(diff.added),
+            "components_retired": len(diff.retired),
+        })
+        return SummaryHandle(
+            summary=build.summary,
+            fingerprint=fingerprint,
+            engine=backend.name,
+            config=self.config,
+            schema=self.schema,
+            constraints=constraints,
+            diagnostics=diagnostics,
+            from_store=build.from_store,
+        )
+
+    def diff(self, fingerprint_a: str, fingerprint_b: str) -> EpochDiff:
+        """Per-component reuse report between two stored workload epochs."""
+        if self.store is None:
+            raise ServiceError("diff needs a store holding both epochs")
+        from repro.service.fingerprint import manifest_diff
+
+        summaries = []
+        for fingerprint in (fingerprint_a, fingerprint_b):
+            summary = self.store.get_summary(fingerprint)
+            if summary is None:
+                raise ServiceError(
+                    f"no stored summary for fingerprint {fingerprint[:12]}…;"
+                    " cannot diff epochs"
+                )
+            summaries.append(summary)
+        report = manifest_diff(summaries[0].component_manifest(),
+                               summaries[1].component_manifest())
+        return EpochDiff(
+            fingerprint_a=fingerprint_a,
+            fingerprint_b=fingerprint_b,
+            reused=tuple(report.reused),
+            added=tuple(report.added),
+            retired=tuple(report.retired),
+        )
+
+    def lineage(self, fingerprint: str) -> List[Mapping[str, object]]:
+        """The epoch chain ending at ``fingerprint`` (newest first)."""
+        if self.store is None:
+            raise ServiceError("lineage needs a store")
+        walk = getattr(self.store, "list_lineage", None)
+        if walk is None:
+            return [{"fingerprint": fingerprint,
+                     "present": self.store.get_summary(fingerprint) is not None}]
+        return walk(fingerprint)
 
     def load(self, fingerprint: str) -> SummaryHandle:
         """Rehydrate a handle for a fingerprint already in the store."""

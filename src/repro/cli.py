@@ -7,6 +7,12 @@ passing the same flags compute the same store fingerprint):
 
 * ``summarize``  — build the benchmark workload's summary into the store
   (one process pays the LP solves; replaces ``repro.service warm``);
+* ``resummarize`` — incrementally re-summarize a drifted workload against
+  the warm ``--base-queries`` epoch: only the constraint-graph components
+  the drift touched are solved, the rest reuse cached solutions verbatim,
+  and the new epoch is lineage-linked to its parent in the store;
+* ``diff``       — per-component reuse report between two stored workload
+  epochs, plus the newer epoch's lineage chain;
 * ``regenerate`` — regenerate the database from a summary and report (or
   stream) its relations, optionally at a different ``--scale-factor``;
 * ``verify``     — run the full loop (extract → summarize → regenerate →
@@ -123,6 +129,75 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
               f" total_rows={summary.total_rows()} summary_bytes={summary.nbytes()}")
         _print_stats(service)
         _print_tenants(service)
+    return 0
+
+
+def _cmd_resummarize(args: argparse.Namespace) -> int:
+    """Incrementally re-summarize a drifted benchmark workload.
+
+    The base epoch is the benchmark workload with ``--base-queries`` queries
+    (same seeds, so it is a prefix of the drifted ``--queries`` workload);
+    it must already be warm in the store unless ``--build-base`` is given.
+    Only the constraint-graph components the drift touched are solved; the
+    rest are reused verbatim from the component-solution cache.
+    """
+    from repro.benchdata.tpcds import complex_workload, simple_workload
+    from repro.hydra.client import extract_constraints
+
+    schema, drift_constraints, _, database = _benchmark_environment(args)
+    factory = complex_workload if args.workload == "complex" else simple_workload
+    base_workload = factory(schema, num_queries=args.base_queries,
+                            seed=args.workload_seed)
+    base_constraints = extract_constraints(database, base_workload).constraints
+    session = _session(args, schema)
+    with session.serve() as service:
+        base_fingerprint = service.fingerprint(base_constraints)
+        if not service.store.has_summary(base_fingerprint):
+            if not args.build_base:
+                print(f"base fingerprint={base_fingerprint} is not in the"
+                      " store; warm it first (or pass --build-base)",
+                      file=sys.stderr)
+                return EXIT_NOT_WARM
+            service.submit(base_constraints, tenant=args.tenant).result()
+        report = service.resummarize(base_fingerprint, drift_constraints,
+                                     tenant=args.tenant)
+        print(f"fingerprint={report.fingerprint}")
+        print(f"parent_fingerprint={report.parent_fingerprint}")
+        print(f"warm={report.warm}"
+              f" components_total={report.total_components}"
+              f" components_reused={len(report.reused_components)}"
+              f" components_solved={len(report.solved_components)}"
+              f" components_retired={len(report.retired_components)}")
+        print(f"content_digest={report.summary.content_digest()}")
+        _print_stats(service)
+        _print_tenants(service)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Per-component reuse report between two stored workload epochs."""
+    from repro.benchdata.tpcds import tpcds_schema
+
+    session = _session(args, tpcds_schema(scale_factor=args.scale))
+    try:
+        report = session.diff(args.fingerprint_a, args.fingerprint_b)
+    except ServiceError as error:
+        print(f"diff: {error}", file=sys.stderr)
+        return 2
+    print(f"epoch_a={report.fingerprint_a}")
+    print(f"epoch_b={report.fingerprint_b}")
+    print(f"components_total={report.total}"
+          f" reused={len(report.reused)} added={len(report.added)}"
+          f" retired={len(report.retired)}"
+          f" reuse_ratio={report.reuse_ratio:.4f}")
+    for label, keys in (("reused", report.reused), ("added", report.added),
+                        ("retired", report.retired)):
+        for key in keys:
+            print(f"  {label} component={key[:16]}")
+    lineage = session.lineage(args.fingerprint_b)
+    if len(lineage) > 1:
+        chain = " -> ".join(str(link["fingerprint"])[:12] for link in lineage)
+        print(f"lineage: {chain}")
     return 0
 
 
@@ -553,6 +628,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_env(summarize)
     add_cluster(summarize)
     summarize.set_defaults(func=_cmd_summarize)
+
+    resummarize = sub.add_parser(
+        "resummarize",
+        help="incrementally re-summarize a drifted workload against the"
+             " warm --base-queries epoch (component-level delta solving)")
+    resummarize.add_argument("--store", required=True, help="store directory")
+    add_env(resummarize)
+    add_cluster(resummarize)
+    resummarize.add_argument("--base-queries", type=int, required=True,
+                             dest="base_queries",
+                             help="query count of the warm base epoch (same"
+                                  " seeds, so it is a prefix of --queries)")
+    resummarize.add_argument("--build-base", action="store_true",
+                             dest="build_base",
+                             help="cold-build the base epoch if it is not in"
+                                  " the store (default: exit 3)")
+    resummarize.set_defaults(func=_cmd_resummarize)
+
+    diff = sub.add_parser(
+        "diff", help="per-component reuse report between two stored epochs")
+    diff.add_argument("fingerprint_a", help="base epoch fingerprint")
+    diff.add_argument("fingerprint_b", help="new epoch fingerprint")
+    diff.add_argument("--store", required=True, help="store directory")
+    diff.add_argument("--scale", type=float, default=0.0002,
+                      help="TPC-DS scale factor (schema shape only)")
+    diff.add_argument("--workers", type=int, default=2)
+    diff.add_argument("--engine", choices=available_backends(),
+                      default="hydra", help="pipeline backend")
+    diff.set_defaults(func=_cmd_diff)
 
     regenerate = sub.add_parser(
         "regenerate", help="regenerate the database from a summary")

@@ -72,10 +72,14 @@ def scale_summary(summary: DatabaseSummary, schema: Schema,
     """
     if factor <= 0:
         raise SummaryError(f"scale factor must be positive, got {factor}")
+    # Scaling only rewrites tuple counts: the scaled summary is still the
+    # product of the same component solutions, so provenance carries over.
     scaled = DatabaseSummary(
         extra_tuples=dict(summary.extra_tuples),
         lp_variable_counts=dict(summary.lp_variable_counts),
         timings=dict(summary.timings),
+        component_keys={name: list(keys)
+                        for name, keys in summary.component_keys.items()},
     )
     old_prefix: Dict[str, List[int]] = {}
     new_prefix: Dict[str, List[int]] = {}

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a service<->hydra cycle
 
 from repro.constraints.workload import ConstraintSet
 from repro.errors import LPTooLargeError
+from repro.lp.decompose import decompose_model
 from repro.lp.formulate import (
     STRATEGY_GRID,
     STRATEGY_REGION,
@@ -231,6 +232,37 @@ class Hydra:
             ],
         )
 
+    def component_manifest(self, ccs: ConstraintSet,
+                           relations: Optional[Sequence[str]] = None,
+                           ) -> Dict[str, List[str]]:
+        """Per-relation canonical component keys of a build request, without
+        solving anything.
+
+        Preprocessing and LP formulation cost time independent of the data
+        size; the returned keys are exactly the solver's decomposition keys
+        (:func:`repro.lp.decompose.component_key`), so diffing two manifests
+        names the constraint-graph components whose cached solutions an
+        incremental build reuses verbatim.
+        """
+        names = list(relations) if relations is not None else list(self.schema.relation_names)
+        by_relation = ccs.by_relation()
+        manifest: Dict[str, List[str]] = {}
+        for relation in names:
+            task = self.preprocessor.build_task(relation, by_relation.get(relation, []))
+            if not task.subviews:
+                manifest[relation] = []
+                continue
+            view_lp = formulate_view_lp(
+                task,
+                strategy=self.config.strategy,
+                max_grid_variables=self.config.max_grid_variables,
+                max_region_variables=self.config.max_region_variables,
+            )
+            manifest[relation] = sorted(
+                component.key for component in decompose_model(view_lp.model).components
+            )
+        return manifest
+
     def build_summary(self, ccs: ConstraintSet,
                       relations: Optional[Sequence[str]] = None) -> HydraResult:
         """Run the full vendor-side pipeline and return the database summary.
@@ -332,6 +364,16 @@ class Hydra:
         summary.extra_tuples = dict(consistency.extra_tuples)
         summary.lp_variable_counts = {
             name: report.lp_variables for name, report in reports.items()
+        }
+        summary.component_keys = {
+            relation: (
+                sorted(
+                    component.key
+                    for component in decompose_model(view_lps[relation].model).components
+                )
+                if relation in view_lps else []
+            )
+            for relation in names
         }
         summary.timings = {
             "total_seconds": time.perf_counter() - started,

@@ -11,6 +11,14 @@ paper's regenerate-on-demand loop works across a socket:
   **429**, a draining/closed service to **503**, and a cold request against
   a ``require_warm`` server to **409** — the HTTP spelling of the CLI's
   ``--require-warm`` exit 3;
+* ``POST /v1/resummarize`` — incremental re-summarization of a drifted
+  workload against a warm base epoch (``base_fingerprint`` + the wire
+  workload): unchanged constraint-graph components reuse their cached
+  solutions verbatim and only the delta is solved before stitching.  An
+  unknown base fingerprint answers **404** (resummarize never cold-builds
+  the base) and a ``require_warm`` server answers **409** for a cold
+  *drifted* epoch — the same contracts as ``/v1/stream`` and
+  ``/v1/summarize``;
 * ``GET /v1/stream/<fingerprint>/<relation>`` — the regenerated relation as
   chunked NDJSON, one JSON object per tuple, produced batch-at-a-time by
   :meth:`TupleGenerator.stream_range` so the tuple stream is never
@@ -369,6 +377,8 @@ class _Handler(BaseHTTPRequestHandler):
             return "stats", self._do_stats
         if segments == ["v1", "summarize"] and method == "POST":
             return "summarize", self._do_summarize
+        if segments == ["v1", "resummarize"] and method == "POST":
+            return "resummarize", self._do_resummarize
         if (len(segments) == 4 and segments[:2] == ["v1", "stream"]
                 and method == "GET"):
             return "stream", self._do_stream
@@ -521,6 +531,71 @@ class _Handler(BaseHTTPRequestHandler):
             "relations": {name: int(rel.total_rows())
                           for name, rel in sorted(summary.relations.items())},
         })
+        return self._send_json(200, payload)
+
+    def _do_resummarize(self, segments: list, query: Dict[str, list]) -> int:
+        app = self.server.app
+        service = app.service
+        try:
+            body = self._read_json_body()
+            base_fingerprint = body.get("base_fingerprint")
+            if not isinstance(base_fingerprint, str) or not base_fingerprint:
+                raise WireFormatError(
+                    "'base_fingerprint' must be a non-empty string")
+            workload = constraint_set_from_wire(body.get("workload"))
+            relations = body.get("relations")
+            if relations is not None and not isinstance(relations, list):
+                raise WireFormatError("'relations' must be a list or null")
+            tenant = str(body.get("tenant", DEFAULT_TENANT))
+            timeout = float(body.get("timeout", app.request_timeout))
+        except RequestTooLargeError as error:
+            return self._error(413, str(error))
+        except WireFormatError as error:
+            return self._error(400, str(error))
+        if not service.store.has_summary(base_fingerprint):
+            # Resummarize never cold-builds the base epoch: an unknown base
+            # is the same 404 an unknown stream fingerprint answers.
+            return self._error(404, "base fingerprint is not in the store;"
+                                    " summarize the base workload first",
+                               base_fingerprint=base_fingerprint)
+        fingerprint = service.fingerprint(workload, relations)
+        if app.require_warm and not service.store.has_summary(fingerprint):
+            return self._error(
+                409, "drifted fingerprint is not in the store and this server"
+                     " refuses to run the pipeline (require_warm)",
+                fingerprint=fingerprint, base_fingerprint=base_fingerprint)
+        try:
+            report = service.resummarize(base_fingerprint, workload,
+                                         relations, tenant=tenant,
+                                         timeout=timeout)
+        except ServiceOverloadedError as error:
+            return self._error(429, str(error), fingerprint=fingerprint)
+        except ServiceClosedError as error:
+            return self._error(503, str(error), fingerprint=fingerprint)
+        except ServiceError as error:
+            return self._error(504, f"build did not finish within {timeout}s:"
+                                    f" {error}", fingerprint=fingerprint)
+        except ReproError as error:
+            return self._error(500, f"{type(error).__name__}: {error}",
+                               fingerprint=fingerprint)
+        summary = report.summary
+        payload: Dict[str, object] = {
+            "status": "done",
+            "fingerprint": report.fingerprint,
+            "parent_fingerprint": report.parent_fingerprint,
+            "warm": report.warm,
+            "tenant": tenant,
+            "engine": service.engine,
+            "components_total": report.total_components,
+            "components_reused": len(report.reused_components),
+            "components_solved": len(report.solved_components),
+            "components_retired": len(report.retired_components),
+            "content_digest": summary.content_digest(),
+            "total_rows": int(summary.total_rows()),
+            "summary_bytes": int(summary.nbytes()),
+            "relations": {name: int(rel.total_rows())
+                          for name, rel in sorted(summary.relations.items())},
+        }
         return self._send_json(200, payload)
 
     def _do_stream(self, segments: list, query: Dict[str, list]) -> int:

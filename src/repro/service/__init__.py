@@ -23,12 +23,17 @@ one-shot pipeline into a reusable serving system:
 """
 
 from repro.service.fingerprint import (
+    ManifestDiff,
+    component_manifest,
     constraint_set_fingerprint,
+    manifest_diff,
+    manifest_fingerprint,
     schema_fingerprint,
     workload_fingerprint,
 )
 from repro.service.service import (
     RegenerationService,
+    ResummarizeReport,
     ServiceStats,
     TenantStats,
     Ticket,
@@ -37,6 +42,7 @@ from repro.service.store import StoreSolutionCache, SummaryStore
 
 __all__ = [
     "RegenerationService",
+    "ResummarizeReport",
     "ServiceStats",
     "TenantStats",
     "Ticket",
@@ -45,4 +51,8 @@ __all__ = [
     "workload_fingerprint",
     "schema_fingerprint",
     "constraint_set_fingerprint",
+    "component_manifest",
+    "manifest_fingerprint",
+    "manifest_diff",
+    "ManifestDiff",
 ]

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
 
 from repro.constraints.cc import CardinalityConstraint
 from repro.constraints.workload import ConstraintSet
+from repro.lp.decompose import decompose_model
+from repro.lp.model import LPModel
 from repro.predicates.conjunct import Conjunct
 from repro.predicates.dnf import DNFPredicate
 from repro.schema.schema import Schema
@@ -124,3 +127,59 @@ def workload_fingerprint(schema: Schema, ccs: ConstraintSet,
         sorted(relations) if relations is not None else None,
         list(profile) if profile is not None else None,
     ])
+
+
+# ---------------------------------------------------------------------- #
+# component manifests
+# ---------------------------------------------------------------------- #
+def component_manifest(models: Iterable[LPModel]) -> List[str]:
+    """The structural *component manifest* of a set of view LPs.
+
+    Decomposes every model into its independent constraint-graph components
+    (:func:`repro.lp.decompose.decompose_model`) and returns the sorted set
+    of canonical component keys.  The manifest sits alongside the workload
+    fingerprint: the fingerprint identifies the whole request, the manifest
+    identifies the request's units of incremental work.  Two workloads that
+    share a manifest entry share that component's LP byte-for-byte, so its
+    cached solution can be reused verbatim.
+    """
+    keys = set()
+    for model in models:
+        keys.update(component.key for component in decompose_model(model).components)
+    return sorted(keys)
+
+
+def manifest_fingerprint(manifest: Iterable[str]) -> str:
+    """Content hash of a component manifest (order-insensitive)."""
+    return _digest(["manifest", FINGERPRINT_VERSION, sorted(manifest)])
+
+
+@dataclass(frozen=True)
+class ManifestDiff:
+    """Component-level delta between two workload epochs.
+
+    ``reused`` are components present in both manifests — an incremental
+    build serves them from the component-solution cache with zero solves.
+    ``added`` exist only in the new epoch (they must be solved); ``retired``
+    exist only in the base epoch (their solutions are simply not used).
+    """
+
+    reused: List[str]
+    added: List[str]
+    retired: List[str]
+
+    @property
+    def total(self) -> int:
+        """Component count of the *new* epoch."""
+        return len(self.reused) + len(self.added)
+
+
+def manifest_diff(base: Iterable[str], new: Iterable[str]) -> ManifestDiff:
+    """Diff two component manifests into reused/added/retired keys."""
+    base_set = set(base)
+    new_set = set(new)
+    return ManifestDiff(
+        reused=sorted(base_set & new_set),
+        added=sorted(new_set - base_set),
+        retired=sorted(base_set - new_set),
+    )

@@ -69,6 +69,7 @@ from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import get_tracer, span as trace_span
 from repro.schema.schema import Schema
+from repro.service.fingerprint import ManifestDiff, manifest_diff
 from repro.service.store import SummaryStore
 from repro.summary.relation_summary import DatabaseSummary
 from repro.tuplegen.generator import DEFAULT_BATCH_SIZE, TupleGenerator
@@ -243,6 +244,33 @@ class Ticket:
             raise self._flight.error
         assert self._flight.summary is not None
         return self._flight.summary
+
+
+@dataclass(frozen=True)
+class ResummarizeReport:
+    """Outcome of one incremental re-summarization (a new workload epoch).
+
+    The component lists come from diffing the drifted workload's manifest
+    against the base epoch's provenance: ``reused`` components are served
+    from the component-solution cache with zero solves, ``solved`` is the
+    delta plan (components only the new epoch has — an upper bound on actual
+    solves, since an "added" component may still hit a cache entry written
+    by an unrelated build), ``retired`` existed only in the base.
+    """
+
+    fingerprint: str
+    parent_fingerprint: str
+    summary: DatabaseSummary
+    #: ``True`` when the drifted epoch was already stored (nothing ran).
+    warm: bool
+    reused_components: Tuple[str, ...]
+    solved_components: Tuple[str, ...]
+    retired_components: Tuple[str, ...]
+
+    @property
+    def total_components(self) -> int:
+        """Component count of the new epoch."""
+        return len(self.reused_components) + len(self.solved_components)
 
 
 @dataclass(frozen=True)
@@ -475,6 +503,12 @@ class RegenerationService:
             "cursors_reaped": self.registry.counter(
                 "repro_service_cursors_reaped_total",
                 "Idle stream cursors whose store pin the reaper reclaimed"),
+            "components_reused": self.registry.counter(
+                "repro_service_components_reused_total",
+                "Cached component solutions resummarize reused verbatim"),
+            "components_resolved": self.registry.counter(
+                "repro_service_components_resolved_total",
+                "Changed/new components resummarize had to solve"),
             # executor memory telemetry (regenerate-then-verify paths)
             "workloads_executed": self.registry.counter(
                 "repro_service_workloads_executed_total",
@@ -636,6 +670,120 @@ class RegenerationService:
                   tenant: str = DEFAULT_TENANT) -> DatabaseSummary:
         """Blocking convenience wrapper: submit and wait for the summary."""
         return self.submit(workload, relations, tenant=tenant).result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # incremental re-summarization (workload epochs)
+    # ------------------------------------------------------------------ #
+    def component_manifest(self, workload: ConstraintSet,
+                           relations: Optional[Sequence[str]] = None,
+                           ) -> List[str]:
+        """The structural component manifest of a request, without solving.
+
+        Delegates to the backend pipeline's formulation; backends without a
+        decomposable LP formulation (e.g. DataSynth) report an empty
+        manifest, which makes every incremental build a full rebuild.
+        """
+        manifest_fn = getattr(self.backend.pipeline, "component_manifest", None)
+        if manifest_fn is None:
+            return []
+        per_relation = manifest_fn(workload, relations)
+        return sorted({key for keys in per_relation.values() for key in keys})
+
+    def resummarize(self, base_fingerprint: str, new_constraints: ConstraintSet,
+                    relations: Optional[Sequence[str]] = None,
+                    tenant: str = DEFAULT_TENANT,
+                    timeout: Optional[float] = None) -> ResummarizeReport:
+        """Incrementally re-summarize a drifted workload against a warm epoch.
+
+        Diffs the drifted workload's component manifest against the base
+        epoch's recorded provenance: components present in both manifests
+        reuse their cached solutions verbatim (zero solves — the store-backed
+        component cache serves them), so the build only solves the
+        changed/new constraint-graph components before stitching.  The new
+        epoch is linked to its parent in the store (``parent_fingerprint``
+        metadata, walkable via
+        :meth:`~repro.service.store.SummaryStore.list_lineage`).  Because
+        merging and stitching are deterministic given the component
+        solutions, the produced summary is byte-identical to a cold
+        ``summarize`` of the drifted workload.
+
+        Raises :class:`~repro.errors.ServiceError` when ``base_fingerprint``
+        is not in the store — resummarize never cold-builds the base.
+        """
+        with trace_span("service.resummarize", tenant=tenant) as span:
+            span.set_attribute("base", base_fingerprint[:12])
+            base_summary = self.store.get_summary(base_fingerprint)
+            if base_summary is None:
+                raise ServiceError(
+                    f"no stored summary for base fingerprint"
+                    f" {base_fingerprint[:12]}…; summarize the base workload"
+                    " first"
+                )
+            diff = manifest_diff(
+                base_summary.component_manifest(),
+                self.component_manifest(new_constraints, relations),
+            )
+            ticket = self.submit(new_constraints, relations, tenant=tenant)
+            summary = ticket.result(timeout)
+            fingerprint = ticket.fingerprint
+            # A warm drifted epoch ran nothing: the whole summary — all its
+            # components — was reused; otherwise the intersection was served
+            # from cache and the added components were (at most) solved.
+            reused = diff.total if ticket.warm else len(diff.reused)
+            solved = 0 if ticket.warm else len(diff.added)
+            self._counters["components_reused"].inc(reused)
+            self._counters["components_resolved"].inc(solved)
+            if fingerprint != base_fingerprint:
+                self._link_epoch(fingerprint, base_fingerprint, summary)
+            span.set_attribute("fingerprint", fingerprint[:12])
+            span.set_attribute("warm", ticket.warm)
+            span.set_attribute("components_reused", reused)
+            span.set_attribute("components_resolved", solved)
+            logger.info(
+                "resummarized %s -> %s: reused=%d solved=%d retired=%d warm=%s",
+                base_fingerprint[:12], fingerprint[:12], reused, solved,
+                len(diff.retired), ticket.warm)
+        return ResummarizeReport(
+            fingerprint=fingerprint,
+            parent_fingerprint=base_fingerprint,
+            summary=summary,
+            warm=ticket.warm,
+            reused_components=tuple(diff.reused),
+            solved_components=tuple(diff.added),
+            retired_components=tuple(diff.retired),
+        )
+
+    def diff(self, fingerprint_a: str, fingerprint_b: str) -> ManifestDiff:
+        """Per-component reuse report between two stored workload epochs.
+
+        ``reused`` components are shared by both epochs, ``added`` exist
+        only in epoch ``b``, ``retired`` only in epoch ``a``.  Raises
+        :class:`~repro.errors.ServiceError` when either epoch is missing
+        from the store.
+        """
+        summaries = []
+        for fingerprint in (fingerprint_a, fingerprint_b):
+            summary = self.store.get_summary(fingerprint)
+            if summary is None:
+                raise ServiceError(
+                    f"no stored summary for fingerprint {fingerprint[:12]}…;"
+                    " cannot diff epochs"
+                )
+            summaries.append(summary)
+        return manifest_diff(summaries[0].component_manifest(),
+                             summaries[1].component_manifest())
+
+    def _link_epoch(self, fingerprint: str, parent: str,
+                    summary: DatabaseSummary) -> None:
+        """Record the new epoch's parent link in the store metadata."""
+        link = getattr(self.store, "link_parent", None)
+        if link is not None:
+            link(fingerprint, parent)
+            return
+        # Store backends without native lineage support (e.g. remote
+        # replicas) still get the link via a meta-carrying rewrite.
+        self.store.put_summary(fingerprint, summary,
+                               meta={"parent_fingerprint": parent})
 
     # ------------------------------------------------------------------ #
     # fair dispatch

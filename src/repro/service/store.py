@@ -565,6 +565,80 @@ class SummaryStore:
         self._touch("summaries", fingerprint)
         return summary
 
+    def summary_meta(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """Metadata of one summary entry, or ``None`` when absent.
+
+        A pure peek like :meth:`has_summary`: reads the entry file when the
+        meta is not already cached, but never refreshes recency."""
+        with self._lock:
+            meta = self._metas.get(fingerprint)
+            if meta is not None:
+                return dict(meta)
+        if self.root is None or not self._entry_path("summaries", fingerprint).exists():
+            return None
+        try:
+            payload = self._read_entry("summaries", fingerprint)
+        except SummaryStoreError:
+            return None
+        meta = payload.get("meta")
+        meta = dict(meta) if isinstance(meta, dict) else {}
+        with self._lock:
+            self._metas[fingerprint] = dict(meta)
+        return meta
+
+    def link_parent(self, fingerprint: str, parent: str) -> None:
+        """Record epoch lineage: mark ``parent`` as the stored epoch
+        ``fingerprint`` was incrementally derived from.
+
+        Rewrites the entry with the updated metadata (atomically, and
+        journalled like any other put so followers replicate the link).
+        A no-op when the link is already recorded; raises
+        :class:`SummaryStoreError` when ``fingerprint`` is not stored.
+        """
+        summary = self.get_summary(fingerprint)
+        if summary is None:
+            raise SummaryStoreError(
+                f"cannot link lineage: store has no summary {fingerprint}"
+            )
+        meta = self.summary_meta(fingerprint) or {}
+        if meta.get("parent_fingerprint") == parent:
+            return
+        meta["parent_fingerprint"] = parent
+        self._put_summary(fingerprint, summary, meta)
+
+    def parent_fingerprint(self, fingerprint: str) -> Optional[str]:
+        """The parent epoch of a summary (``None`` for root epochs)."""
+        meta = self.summary_meta(fingerprint)
+        if meta is None:
+            return None
+        parent = meta.get("parent_fingerprint")
+        return str(parent) if parent else None
+
+    def list_lineage(self, fingerprint: str) -> List[Dict[str, object]]:
+        """The epoch chain ending at ``fingerprint``, newest first.
+
+        Follows ``parent_fingerprint`` links recorded in entry metadata
+        (written by incremental builds — see
+        :meth:`~repro.service.service.RegenerationService.resummarize`).
+        Each element carries the entry's metadata plus ``fingerprint`` and
+        ``present`` (``False`` for an ancestor that has since been removed,
+        which also terminates the walk).  Cycles are broken defensively.
+        """
+        chain: List[Dict[str, object]] = []
+        seen = set()
+        current: Optional[str] = fingerprint
+        while current is not None and current not in seen:
+            seen.add(current)
+            meta = self.summary_meta(current)
+            entry: Dict[str, object] = {**(meta or {}), "fingerprint": current,
+                                        "present": meta is not None}
+            chain.append(entry)
+            if meta is None:
+                break
+            parent = meta.get("parent_fingerprint")
+            current = str(parent) if parent else None
+        return chain
+
     def has_summary(self, fingerprint: str) -> bool:
         """``True`` when a summary entry exists (memory or disk).
 
@@ -815,11 +889,19 @@ class SummaryStore:
         stamp = time.time() if now is None else now
         with self._lock:
             pinned = set(self._pins)
+        # Lineage protection: the ancestors of every pinned (live) epoch are
+        # kept too, so a session can always diff a live epoch against the
+        # parents it was incrementally derived from.  Unpinned chains age out
+        # normally.
+        protected = set(pinned)
+        for fingerprint in pinned:
+            for link in self.list_lineage(fingerprint)[1:]:
+                protected.add(str(link["fingerprint"]))
         candidates = self._scan_candidates()
         expired = evicted = reclaimed = 0
         survivors: List[Tuple[float, str, str, int]] = []
         for last_used, kind, key, size in candidates:
-            if kind == "summaries" and key in pinned:
+            if kind == "summaries" and key in protected:
                 survivors.append((last_used, kind, key, size))
                 continue
             if ttl is not None and stamp - last_used > ttl \
@@ -836,7 +918,7 @@ class SummaryStore:
             over_entries = entry_cap is not None and summary_count > entry_cap
             if not over_bytes and not over_entries:
                 break
-            if kind == "summaries" and key in pinned:
+            if kind == "summaries" and key in protected:
                 continue
             if kind == "components" and not over_bytes:
                 continue  # components only count toward the byte cap

@@ -109,12 +109,47 @@ class RelationSummary:
 @dataclass
 class DatabaseSummary:
     """The complete database summary: one relation summary per relation plus
-    diagnostics gathered while building it."""
+    diagnostics gathered while building it.
+
+    ``component_keys`` is build provenance: for each relation, the canonical
+    keys (``lp.decompose.component_key``) of the constraint-graph components
+    whose solutions produced that relation's piece of the summary.  It is the
+    unit of incremental work — two epochs sharing a key reused the same
+    cached component solution verbatim (see ``docs/INCREMENTAL.md``).
+    """
 
     relations: Dict[str, RelationSummary] = field(default_factory=dict)
     extra_tuples: Dict[str, int] = field(default_factory=dict)
     lp_variable_counts: Dict[str, int] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    component_keys: Dict[str, List[str]] = field(default_factory=dict)
+
+    def component_manifest(self) -> List[str]:
+        """Sorted union of all component keys across relations."""
+        manifest = set()
+        for keys in self.component_keys.values():
+            manifest.update(keys)
+        return sorted(manifest)
+
+    def content_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` without the wall-clock ``timings``.
+
+        This is the summary's *result content*: two builds that produced the
+        same summary (e.g. a cold build and an incremental rebuild of the
+        same drifted workload) have byte-identical content dicts even though
+        their build timings differ.
+        """
+        data = self.to_dict()
+        data.pop("timings", None)
+        return data
+
+    def content_digest(self) -> str:
+        """sha256 hex digest of :meth:`content_dict` (canonical JSON)."""
+        import hashlib
+
+        text = json.dumps(self.content_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     def relation(self, name: str) -> RelationSummary:
         """Return the summary of one relation."""
@@ -144,6 +179,10 @@ class DatabaseSummary:
             "extra_tuples": {name: int(v) for name, v in self.extra_tuples.items()},
             "lp_variable_counts": {name: int(v) for name, v in self.lp_variable_counts.items()},
             "timings": {name: float(v) for name, v in self.timings.items()},
+            "component_keys": {
+                name: [str(k) for k in keys]
+                for name, keys in self.component_keys.items()
+            },
         }
 
     @classmethod
@@ -157,6 +196,10 @@ class DatabaseSummary:
             extra_tuples=dict(data.get("extra_tuples", {})),  # type: ignore[arg-type]
             lp_variable_counts=dict(data.get("lp_variable_counts", {})),  # type: ignore[arg-type]
             timings=dict(data.get("timings", {})),  # type: ignore[arg-type]
+            component_keys={
+                name: list(keys)
+                for name, keys in dict(data.get("component_keys", {})).items()  # type: ignore[union-attr]
+            },
         )
 
     def save(self, path: Path) -> None:
